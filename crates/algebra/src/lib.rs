@@ -1,0 +1,40 @@
+//! Algebraic substrate for *Distributed Graph Coloring Made Easy* (Maus, SPAA 2021).
+//!
+//! The paper's mother algorithm (Theorem 1.1) needs, for every input color
+//! `i ∈ [m]`, a sequence of color *trials* such that any two distinct
+//! sequences collide in few positions.  The construction is the classical
+//! one from Linial's paper [Lin92] built on polynomials over a finite field:
+//! two distinct polynomials of degree at most `f` over `F_q` agree on at most
+//! `f` points (Lemma 2.1 of the paper), so the sequences
+//! `s_i(x) = (x mod k, p_i(x) mod q)` for `x = 0, …, q-1` intersect in at most
+//! `f` positions.
+//!
+//! This crate provides everything needed to realise that construction:
+//!
+//! * [`field::Fq`] — a prime field with modular arithmetic,
+//! * [`primes`] — deterministic primality testing and the Bertrand-window
+//!   prime search used by Equation (1) of the paper,
+//! * [`poly::Polynomial`] — dense polynomials over `F_q` with lexicographic
+//!   indexing (so every node can derive *the same* polynomial for a given
+//!   input color without communication),
+//! * [`sequence`] — the trial sequences of Algorithm 1 together with the
+//!   parameter derivation (`Z`, `f`, `q`, `X`, `R`) of Theorem 1.1,
+//! * [`logstar`] — the iterated logarithm used to state Linial-style round
+//!   bounds.
+//!
+//! Everything is `no_std`-agnostic in spirit (no I/O, no global state) and
+//! deterministic: the same inputs always produce the same sequences on every
+//! node, which is exactly the property the distributed algorithm relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod logstar;
+pub mod poly;
+pub mod primes;
+pub mod sequence;
+
+pub use field::Fq;
+pub use poly::Polynomial;
+pub use sequence::{SequenceFamily, SequenceParams, Trial};

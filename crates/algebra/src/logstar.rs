@@ -1,0 +1,87 @@
+//! The iterated logarithm `log* n` and related helpers.
+//!
+//! Linial's algorithm reduces an `m`-coloring to an `O(Δ² poly log m)`
+//! coloring per step and therefore needs `O(log* n)` steps to go from unique
+//! `O(log n)`-bit identifiers down to `O(Δ²)` colors.  The experiment
+//! binaries report measured iteration counts against `log* n`, so we provide
+//! the standard definition here.
+
+/// The iterated logarithm base 2: the number of times `log2` must be applied
+/// to `n` before the result drops to at most 1.
+///
+/// # Examples
+///
+/// ```
+/// use dcme_algebra::logstar::log_star;
+/// assert_eq!(log_star(1), 0);
+/// assert_eq!(log_star(2), 1);
+/// assert_eq!(log_star(4), 2);
+/// assert_eq!(log_star(16), 3);
+/// assert_eq!(log_star(65536), 4);
+/// assert_eq!(log_star(u64::MAX), 5);
+/// ```
+pub fn log_star(n: u64) -> u32 {
+    let mut n = n as f64;
+    let mut count = 0u32;
+    while n > 1.0 {
+        n = n.log2();
+        count += 1;
+    }
+    count
+}
+
+/// Ceiling of `log2(n)` for `n >= 1`, with `ceil_log2(1) = 0`.
+///
+/// This is the bit length needed to encode values in `[n]` and is used for
+/// CONGEST bandwidth accounting.
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Number of bits needed to transmit one value from a universe of size `n`
+/// (at least one bit even for a trivial universe, since a message must be
+/// distinguishable from silence).
+pub fn bits_for(n: u64) -> u32 {
+    ceil_log2(n).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_known_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(17), 4);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(65537), 5);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn bits_for_is_positive() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(256), 8);
+    }
+}

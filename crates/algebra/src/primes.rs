@@ -1,0 +1,228 @@
+//! Primality testing and prime search.
+//!
+//! Equation (1) of the paper requires a prime `q` with `2fZ < q < 4fZ`,
+//! whose existence follows from Bertrand's postulate.  The moduli involved
+//! are small (at most a few million for any realistic `Δ` and `m`), so a
+//! deterministic Miller–Rabin test with a fixed witness set — exact for all
+//! 64-bit integers — is more than sufficient and keeps the construction
+//! fully deterministic, as the distributed algorithm requires.
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the standard deterministic witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` which is known to be
+/// sufficient for every integer below `3.3 · 10^24`.
+///
+/// # Examples
+///
+/// ```
+/// use dcme_algebra::primes::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(97));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Returns the smallest prime `p` with `p >= n` (and `p >= 2`).
+///
+/// # Examples
+///
+/// ```
+/// use dcme_algebra::primes::next_prime;
+/// assert_eq!(next_prime(0), 2);
+/// assert_eq!(next_prime(14), 17);
+/// assert_eq!(next_prime(17), 17);
+/// ```
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate += 1;
+    }
+}
+
+/// Finds a prime strictly inside the open interval `(lo, hi)`.
+///
+/// Returns `None` if the interval contains no prime.  The paper's parameter
+/// choice `(2fZ, 4fZ)` always contains one by Bertrand's postulate as long
+/// as `2fZ >= 1`, but the function is defensive and lets the caller handle
+/// degenerate parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dcme_algebra::primes::prime_in_range;
+/// assert_eq!(prime_in_range(10, 14), Some(11));
+/// assert_eq!(prime_in_range(8, 10), None); // 9 is the only interior point
+/// ```
+pub fn prime_in_range(lo: u64, hi: u64) -> Option<u64> {
+    if hi <= lo + 1 {
+        return None;
+    }
+    let p = next_prime(lo + 1);
+    if p < hi {
+        Some(p)
+    } else {
+        None
+    }
+}
+
+/// The prime required by Equation (1) of the paper: some `q` with
+/// `2·f·Z < q < 4·f·Z`.
+///
+/// By Bertrand's postulate such a prime exists whenever `f·Z >= 1`; the
+/// function panics on `f * Z == 0` because that indicates a caller bug
+/// (the paper requires `Z >= 1` and `f >= 1`).
+pub fn bertrand_prime(f: u64, z: u64) -> u64 {
+    assert!(f >= 1 && z >= 1, "Equation (1) requires f >= 1 and Z >= 1");
+    let lo = 2 * f * z;
+    let hi = 4 * f * z;
+    prime_in_range(lo, hi)
+        .expect("Bertrand's postulate guarantees a prime in (2fZ, 4fZ) for fZ >= 1")
+}
+
+/// All primes `< n`, by a simple sieve.  Used by tests and by the exhaustive
+/// lower-bound search where only tiny bounds occur.
+pub fn primes_below(n: u64) -> Vec<u64> {
+    if n <= 2 {
+        return Vec::new();
+    }
+    let n = n as usize;
+    let mut sieve = vec![true; n];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2;
+    while i * i < n {
+        if sieve[i] {
+            let mut j = i * i;
+            while j < n {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| if p { Some(i as u64) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified_correctly() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        for n in 0..50u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_are_composite() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(n), "Carmichael number {n} misclassified");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(is_prime(4_294_967_291)); // largest prime < 2^32
+        assert!(!is_prime(4_294_967_295));
+        assert!(is_prime(1_000_000_007));
+    }
+
+    #[test]
+    fn sieve_agrees_with_miller_rabin() {
+        let sieved = primes_below(2000);
+        let tested: Vec<u64> = (0..2000).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieved, tested);
+    }
+
+    #[test]
+    fn next_prime_is_minimal() {
+        for n in 0..500u64 {
+            let p = next_prime(n);
+            assert!(is_prime(p));
+            assert!(p >= n.max(2));
+            for q in n.max(2)..p {
+                assert!(!is_prime(q));
+            }
+        }
+    }
+
+    #[test]
+    fn bertrand_prime_in_window() {
+        for f in 1..8u64 {
+            for z in 1..40u64 {
+                let q = bertrand_prime(f, z);
+                assert!(is_prime(q));
+                assert!(2 * f * z < q && q < 4 * f * z, "f={f} z={z} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn prime_in_empty_range_is_none() {
+        assert_eq!(prime_in_range(3, 4), None);
+        assert_eq!(prime_in_range(24, 29), None); // 25,26,27,28 all composite
+    }
+}

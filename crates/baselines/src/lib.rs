@@ -1,0 +1,31 @@
+//! Baseline coloring algorithms the paper subsumes or is compared against.
+//!
+//! * [`greedy`] — the sequential greedy `(Δ+1)`-coloring (the color-count
+//!   reference point; zero communication rounds, but inherently sequential).
+//! * [`locally_iterative`] — the folklore locally-iterative reduction that
+//!   maintains a proper coloring each round and lets local color maxima
+//!   recolor into `[Δ+1]`; the self-stabilising style of algorithm that
+//!   [BEG18] accelerates and that the paper's `k = 1` setting generalises.
+//! * [`kuhn_wattenhofer`] — the classical iterated color-space halving
+//!   [KW06]-style reduction (`O(Δ log(m/Δ))` rounds), built from per-block
+//!   class elimination.
+//! * [`luby`] — the randomized trial baseline: every uncolored node samples a
+//!   random free color from `[Δ+1]` and keeps it if no neighbour picked the
+//!   same; `O(log n)` rounds with high probability.
+//!
+//! These exist so the experiments can report "who wins by what factor": the
+//! paper's deterministic pipeline vs. the classical deterministic baselines
+//! vs. the randomized folklore.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod kw;
+pub mod locally_iterative;
+pub mod luby;
+
+pub use greedy::greedy_coloring;
+pub use kw::kuhn_wattenhofer;
+pub use locally_iterative::locally_iterative_reduction;
+pub use luby::luby_coloring;

@@ -1,0 +1,140 @@
+//! The folklore locally-iterative color reduction.
+//!
+//! Starting from any proper coloring, every round each node whose color is
+//! `≥ Δ+1` **and** is a local maximum among its neighbours' current colors
+//! recolors itself to the smallest color of `[Δ+1]` unused in its
+//! neighbourhood.  The coloring stays proper after every round (only local
+//! maxima move, and they move below all recoloring thresholds of their
+//! neighbours), which is the defining feature of locally-iterative algorithms
+//! in the sense of [BEG18].  The number of rounds is bounded by the number of
+//! distinct colors above `Δ`, i.e. `O(m)` — the pre-BEG18 state of affairs
+//! that both [BEG18] and the paper's `k = 1` algorithm improve to `O(Δ)`.
+
+use dcme_algebra::logstar::bits_for;
+use dcme_congest::{
+    ExecutionMode, Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox, RunMetrics, Simulator,
+    SimulatorConfig, Topology,
+};
+use dcme_graphs::coloring::Coloring;
+use dcme_graphs::verify;
+
+/// Message carrying the sender's current color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColorMsg(pub u64);
+
+impl MessageSize for ColorMsg {
+    fn bit_size(&self) -> u64 {
+        bits_for(self.0 + 1) as u64
+    }
+}
+
+struct IterativeNode {
+    color: u64,
+    target: u64,
+    done: bool,
+}
+
+impl NodeAlgorithm for IterativeNode {
+    type Message = ColorMsg;
+    type Output = u64;
+
+    fn init(&mut self, _ctx: &NodeContext) {}
+
+    fn send(&mut self, _ctx: &NodeContext) -> Outbox<ColorMsg> {
+        Outbox::Broadcast(ColorMsg(self.color))
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<ColorMsg>) {
+        let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, m)| m.0).collect();
+        if self.color >= self.target && neighbor_colors.iter().all(|&c| c < self.color) {
+            let used: std::collections::HashSet<u64> = neighbor_colors.iter().copied().collect();
+            self.color = (0..self.target)
+                .find(|c| !used.contains(c))
+                .expect("at most Δ neighbours");
+        }
+        // A node is finished once it and all its neighbours are below the
+        // target; it cannot detect the latter without more rounds, so it
+        // simply keeps participating while any neighbour is still high.
+        self.done = self.color < self.target && neighbor_colors.iter().all(|&c| c < self.target);
+    }
+
+    fn is_halted(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> u64 {
+        self.color
+    }
+}
+
+/// Runs the locally-iterative reduction from `input` down to a
+/// `(Δ+1)`-coloring.  Returns the coloring and the round metrics.
+pub fn locally_iterative_reduction(
+    topology: &Topology,
+    input: &Coloring,
+    mode: ExecutionMode,
+) -> (Coloring, RunMetrics) {
+    verify::check_proper(topology, input).expect("input must be proper");
+    let target = topology.max_degree() as u64 + 1;
+    let nodes: Vec<IterativeNode> = (0..topology.num_nodes())
+        .map(|v| IterativeNode {
+            color: input.color(v),
+            target,
+            done: false,
+        })
+        .collect();
+    let sim = Simulator::with_config(
+        topology,
+        SimulatorConfig {
+            max_rounds: input.palette() + topology.num_nodes() as u64 + 4,
+            mode,
+        },
+    );
+    let outcome = sim.run(nodes);
+    let coloring = Coloring::new(outcome.outputs, target);
+    verify::check_proper(topology, &coloring).expect("locally-iterative output must be proper");
+    (coloring, outcome.metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+
+    #[test]
+    fn reduces_ids_to_delta_plus_one() {
+        let g = generators::random_regular(120, 6, 7);
+        let input = Coloring::from_ids(120);
+        let (out, metrics) = locally_iterative_reduction(&g, &input, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out).unwrap();
+        assert!(out.palette() <= g.max_degree() as u64 + 1);
+        assert!(metrics.rounds >= 1);
+        assert!(!metrics.hit_round_cap);
+    }
+
+    #[test]
+    fn needs_many_more_rounds_than_the_papers_pipeline_shape() {
+        // On a long path with decreasing ids the local-maximum rule recolors
+        // one node per round: Ω(n) rounds — the behaviour the paper's O(Δ)
+        // algorithm avoids.
+        let n = 60;
+        let g = generators::path(n);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let input = Coloring::from_identifiers(&ids, n as u64);
+        let (out, metrics) = locally_iterative_reduction(&g, &input, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out).unwrap();
+        assert!(metrics.rounds as usize >= n / 2, "rounds {}", metrics.rounds);
+    }
+
+    #[test]
+    fn already_small_coloring_converges_quickly() {
+        let g = generators::ring(30);
+        let c = Coloring::new(
+            (0..30).map(|v| (v % 2) as u64 + if v == 29 { 2 } else { 0 }).collect(),
+            4,
+        );
+        let (out, metrics) = locally_iterative_reduction(&g, &c, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out).unwrap();
+        assert!(metrics.rounds <= 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Randomized trial coloring (folklore / Luby-style baseline).
+//!
+//! Every uncolored node samples a uniformly random color from `[Δ+1]` minus
+//! the colors of its already-finalised neighbours, announces it, and keeps it
+//! if no neighbour announced the same color in the same round.  With high
+//! probability every node finalises within `O(log n)` rounds.  This is the
+//! randomized counterpart of the paper's deterministic "try colors in
+//! batches" idea and is reported as the randomized reference in E6.
+
+use dcme_algebra::logstar::bits_for;
+use dcme_congest::{
+    ExecutionMode, Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox, RunMetrics, Simulator,
+    SimulatorConfig, Topology,
+};
+use dcme_graphs::coloring::Coloring;
+use dcme_graphs::verify;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Messages of the randomized coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMessage {
+    /// A tentative color proposal.
+    Propose(u64),
+    /// A finalised color announcement.
+    Final(u64),
+}
+
+impl MessageSize for LubyMessage {
+    fn bit_size(&self) -> u64 {
+        1 + match self {
+            LubyMessage::Propose(c) | LubyMessage::Final(c) => bits_for(c + 1) as u64,
+        }
+    }
+}
+
+struct LubyNode {
+    rng: StdRng,
+    palette: u64,
+    blocked: std::collections::HashSet<u64>,
+    proposal: Option<u64>,
+    finalized: Option<u64>,
+    announced: bool,
+    halted: bool,
+}
+
+impl NodeAlgorithm for LubyNode {
+    type Message = LubyMessage;
+    type Output = Option<u64>;
+
+    fn init(&mut self, _ctx: &NodeContext) {}
+
+    fn send(&mut self, _ctx: &NodeContext) -> Outbox<LubyMessage> {
+        if let Some(c) = self.finalized {
+            if !self.announced {
+                self.announced = true;
+                return Outbox::Broadcast(LubyMessage::Final(c));
+            }
+            return Outbox::Silent;
+        }
+        let available: Vec<u64> = (0..self.palette)
+            .filter(|c| !self.blocked.contains(c))
+            .collect();
+        let choice = available[self.rng.random_range(0..available.len())];
+        self.proposal = Some(choice);
+        Outbox::Broadcast(LubyMessage::Propose(choice))
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<LubyMessage>) {
+        if self.announced {
+            self.halted = true;
+            return;
+        }
+        let mut conflict = false;
+        for (_, msg) in inbox.iter() {
+            match msg {
+                LubyMessage::Final(c) => {
+                    self.blocked.insert(*c);
+                    if self.proposal == Some(*c) {
+                        conflict = true;
+                    }
+                }
+                LubyMessage::Propose(c) => {
+                    if self.proposal == Some(*c) {
+                        conflict = true;
+                    }
+                }
+            }
+        }
+        if !conflict {
+            self.finalized = self.proposal;
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.finalized
+    }
+}
+
+/// Result of the randomized coloring.
+#[derive(Debug, Clone)]
+pub struct LubyOutcome {
+    /// The computed `(Δ+1)`-coloring.
+    pub coloring: Coloring,
+    /// Round/message accounting.
+    pub metrics: RunMetrics,
+}
+
+/// Runs the randomized `(Δ+1)`-coloring with the given seed.
+///
+/// Panics only if the round cap (`8 (log₂ n + 4)` rounds) is exceeded, which
+/// for the cap chosen here has negligible probability; the caller can retry
+/// with a different seed if needed.
+pub fn luby_coloring(topology: &Topology, seed: u64, mode: ExecutionMode) -> LubyOutcome {
+    let n = topology.num_nodes();
+    let palette = topology.max_degree() as u64 + 1;
+    let nodes: Vec<LubyNode> = (0..n)
+        .map(|v| LubyNode {
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v as u64)),
+            palette,
+            blocked: std::collections::HashSet::new(),
+            proposal: None,
+            finalized: None,
+            announced: false,
+            halted: false,
+        })
+        .collect();
+    let cap = 8 * ((usize::BITS - n.leading_zeros()) as u64 + 4);
+    let sim = Simulator::with_config(
+        topology,
+        SimulatorConfig {
+            max_rounds: cap.max(32),
+            mode,
+        },
+    );
+    let outcome = sim.run(nodes);
+    let colors: Vec<u64> = outcome
+        .outputs
+        .iter()
+        .map(|c| c.expect("randomized coloring exceeded its round cap"))
+        .collect();
+    let coloring = Coloring::new(colors, palette);
+    verify::check_proper(topology, &coloring).expect("randomized coloring must be proper");
+    LubyOutcome {
+        coloring,
+        metrics: outcome.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+
+    #[test]
+    fn randomized_coloring_is_proper_and_fast() {
+        let g = generators::random_regular(300, 10, 11);
+        let out = luby_coloring(&g, 42, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert!(out.coloring.palette() <= g.max_degree() as u64 + 1);
+        // O(log n) rounds: generous constant.
+        assert!(out.metrics.rounds <= 60, "rounds {}", out.metrics.rounds);
+    }
+
+    #[test]
+    fn different_seeds_still_produce_proper_colorings() {
+        let g = generators::gnp(150, 0.05, 3);
+        for seed in 0..5 {
+            let out = luby_coloring(&g, seed, ExecutionMode::Sequential);
+            verify::check_proper(&g, &out.coloring).unwrap();
+        }
+    }
+
+    #[test]
+    fn works_on_the_complete_graph() {
+        let g = generators::complete(10);
+        let out = luby_coloring(&g, 7, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert_eq!(out.coloring.distinct_colors(), 10);
+    }
+}

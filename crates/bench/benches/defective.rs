@@ -1,0 +1,24 @@
+//! E5 bench: d-defective colorings (Corollary 1.2(5)/(6)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::corollary;
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_defective(c: &mut Criterion) {
+    let g = generators::random_regular(200, 32, 13);
+    let input = Coloring::from_ids(200);
+    let mut group = c.benchmark_group("e5_defective");
+    group.sample_size(10);
+    for d in [2u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("one_round", d), &d, |b, &d| {
+            b.iter(|| corollary::defective_one_round(&g, &input, d).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("multi_round", d), &d, |b, &d| {
+            b.iter(|| corollary::defective_multi_round(&g, &input, d).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defective);
+criterion_main!(benches);

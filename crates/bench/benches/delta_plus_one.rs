@@ -1,0 +1,36 @@
+//! E6 bench: (Δ+1)-coloring pipelines vs the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcme_baselines as baselines;
+use dcme_coloring::pipeline;
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_delta_plus_one(c: &mut Criterion) {
+    let g = generators::random_regular(200, 12, 17);
+    let input = Coloring::from_ids(200);
+    let mut group = c.benchmark_group("e6_delta_plus_one");
+    group.sample_size(10);
+    group.bench_function("paper_simple_pipeline", |b| {
+        b.iter(|| pipeline::delta_plus_one(&g).unwrap());
+    });
+    group.bench_function("paper_scheduled_pipeline", |b| {
+        b.iter(|| pipeline::delta_plus_one_scheduled(&g, None, ExecutionMode::Sequential).unwrap());
+    });
+    group.bench_function("baseline_kuhn_wattenhofer", |b| {
+        b.iter(|| baselines::kuhn_wattenhofer(&g, &input).unwrap());
+    });
+    group.bench_function("baseline_locally_iterative", |b| {
+        b.iter(|| baselines::locally_iterative_reduction(&g, &input, ExecutionMode::Sequential));
+    });
+    group.bench_function("baseline_randomized", |b| {
+        b.iter(|| baselines::luby_coloring(&g, 1, ExecutionMode::Sequential));
+    });
+    group.bench_function("reference_greedy", |b| {
+        b.iter(|| baselines::greedy_coloring(&g, None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_plus_one);
+criterion_main!(benches);

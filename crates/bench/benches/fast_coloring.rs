@@ -1,0 +1,23 @@
+//! E7 bench: Theorem 1.3 O(Δ^{1+ε})-coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::fast;
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_fast(c: &mut Criterion) {
+    let g = generators::random_regular(200, 32, 23);
+    let delta = g.max_degree() as u64;
+    let input = Coloring::from_identifiers(&(0..200u64).collect::<Vec<_>>(), delta.pow(4).max(200));
+    let mut group = c.benchmark_group("e7_fast_coloring");
+    group.sample_size(10);
+    for eps in [0.25f64, 0.5, 0.75] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| fast::fast_coloring(&g, &input, eps, ExecutionMode::Sequential).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E11 bench: iterated Linial reduction from unique IDs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::linial;
+use dcme_graphs::generators;
+
+fn bench_logstar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_linial_logstar");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let ring = generators::ring(n);
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, _| {
+            b.iter(|| linial::delta_squared_from_ids(&ring, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logstar);
+criterion_main!(benches);

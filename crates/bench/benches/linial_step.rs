@@ -1,0 +1,21 @@
+//! E2 bench: Linial's one-round color reduction (Corollary 1.2(1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::corollary;
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_linial_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_linial_step");
+    group.sample_size(10);
+    for delta in [8usize, 16, 32] {
+        let g = generators::random_regular(300, delta, 3);
+        let input = Coloring::from_ids(300);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| corollary::linial_color_reduction(&g, &input).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial_step);
+criterion_main!(benches);

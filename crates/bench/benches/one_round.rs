@@ -1,0 +1,24 @@
+//! E9 bench: one-round color reduction (Lemma 4.1) and the exhaustive
+//! tightness search (Theorem 1.6) on tiny parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcme_coloring::{linial, reduction};
+use dcme_congest::ExecutionMode;
+use dcme_graphs::generators;
+
+fn bench_one_round(c: &mut Criterion) {
+    let g = generators::random_regular(200, 8, 31);
+    let seed = linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+    let mut group = c.benchmark_group("e9_one_round");
+    group.sample_size(10);
+    group.bench_function("algorithm_2_single_round", |b| {
+        b.iter(|| reduction::one_round_reduction(&g, &seed, ExecutionMode::Sequential).unwrap());
+    });
+    group.bench_function("exhaustive_search_delta2_m4", |b| {
+        b.iter(|| reduction::one_round_algorithm_exists(2, 4, 3, 3_000_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_round);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E4 bench: β-outdegree colorings (Corollary 1.2(4)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::corollary;
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_outdegree(c: &mut Criterion) {
+    let g = generators::random_regular(200, 32, 11);
+    let input = Coloring::from_ids(200);
+    let mut group = c.benchmark_group("e4_outdegree");
+    group.sample_size(10);
+    for beta in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            b.iter(|| corollary::outdegree_coloring(&g, &input, beta).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_outdegree);
+criterion_main!(benches);

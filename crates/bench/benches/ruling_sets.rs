@@ -1,0 +1,23 @@
+//! E8 bench: (2,r)-ruling sets (Theorem 1.5) vs the baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::ruling;
+use dcme_graphs::generators;
+
+fn bench_ruling(c: &mut Criterion) {
+    let g = generators::random_regular(200, 16, 29);
+    let mut group = c.benchmark_group("e8_ruling_sets");
+    group.sample_size(10);
+    for r in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("theorem_1_5", r), &r, |b, &r| {
+            b.iter(|| ruling::ruling_set(&g, r).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", r), &r, |b, &r| {
+            b.iter(|| ruling::ruling_set_baseline(&g, r).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ruling);
+criterion_main!(benches);

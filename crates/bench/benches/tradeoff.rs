@@ -1,0 +1,21 @@
+//! E1 bench: round cost of the mother algorithm as k varies (Theorem 1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_coloring::{trial, TrialConfig};
+use dcme_graphs::{coloring::Coloring, generators};
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let g = generators::random_regular(200, 16, 7);
+    let input = Coloring::from_ids(200);
+    let mut group = c.benchmark_group("e1_tradeoff");
+    group.sample_size(10);
+    for k in [1u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| trial::run(&g, &input, TrialConfig::proper(k)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e10_chopping table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e10_chopping [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e10_chopping(scale);
+    println!("{}", table.to_markdown());
+}

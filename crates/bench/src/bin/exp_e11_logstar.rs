@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e11_logstar table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e11_logstar [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e11_logstar(scale);
+    println!("{}", table.to_markdown());
+}

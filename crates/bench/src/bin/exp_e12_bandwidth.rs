@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e12_bandwidth table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e12_bandwidth [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e12_bandwidth(scale);
+    println!("{}", table.to_markdown());
+}

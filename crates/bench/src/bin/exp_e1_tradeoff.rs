@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e1_tradeoff table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e1_tradeoff [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e1_tradeoff(scale);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e2_linial_step table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e2_linial_step [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e2_linial_step(scale);
+    println!("{}", table.to_markdown());
+}

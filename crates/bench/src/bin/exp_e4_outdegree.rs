@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e4_outdegree table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e4_outdegree [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e4_outdegree(scale);
+    println!("{}", table.to_markdown());
+}

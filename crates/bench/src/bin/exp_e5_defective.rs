@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e5_defective table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e5_defective [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e5_defective(scale);
+    println!("{}", table.to_markdown());
+}

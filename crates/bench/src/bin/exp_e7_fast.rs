@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e7_fast table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e7_fast [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e7_fast(scale);
+    println!("{}", table.to_markdown());
+}

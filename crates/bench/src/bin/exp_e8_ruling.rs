@@ -1,0 +1,9 @@
+//! Experiment binary: prints the e8_ruling table (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p dcme-bench --release --bin exp_e8_ruling [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::e8_ruling(scale);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: workload definitions, per-experiment runners and table
+//! formatting.
+//!
+//! Every theorem/claim of the paper has one experiment (E1–E12, see DESIGN.md
+//! for the index).  Each runner in [`experiments`] produces a [`table::Table`]
+//! whose rows are exactly what the corresponding `exp_*` binary prints and
+//! what EXPERIMENTS.md records; the Criterion benches in `benches/` reuse the
+//! same runners on smaller instances to track wall-clock performance of the
+//! simulator + algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,97 @@
+//! Minimal markdown/CSV table formatting for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple table: a header and rows of stringified cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (printed above the table).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row data.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_round() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "22".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.lines().count() >= 5);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The parameter presets of Corollary 1.2.
+//!
+//! Corollary 1.2 is "the framework to the outer world": six useful
+//! instantiations of Theorem 1.1.  Each function below fixes the parameters
+//! exactly as in the paper's proof of the corollary and runs the mother
+//! algorithm:
+//!
+//! | # | function | setting | colors | rounds |
+//! |---|----------|---------|--------|--------|
+//! | 1 | [`linial_color_reduction`] | `d = 0`, `k = X` | `O(Δ²)` (256Δ² for m = Δ⁴) | 1 |
+//! | 2 | [`kdelta_coloring`]        | `d = 0`, free `k` | `O(kΔ)` | `O(Δ/k)` |
+//! | 3 | [`delta_squared_coloring`] | `d = 0`, `k ≈ Δ²/X` | `Δ²` | `O(1)` |
+//! | 4 | [`outdegree_coloring`]     | `d = β`, `k = 1` | `O(Δ/β)` | `O(Δ/β)` |
+//! | 5 | [`defective_one_round`]    | `d`, `k = X` | `O((Δ/d)²)` | 1 |
+//! | 6 | [`defective_multi_round`]  | `d`, `k = 1`, pair coloring | `O((Δ/d)²)` | `O(Δ/d)` |
+//!
+//! (The measured round counts include the one extra round in which freshly
+//! colored nodes announce their choice.)
+
+use dcme_algebra::sequence::SequenceParams;
+use dcme_congest::Topology;
+use dcme_graphs::coloring::Coloring;
+
+use crate::error::ColoringError;
+use crate::trial::{self, TrialConfig, TrialOutcome};
+
+/// Derives the Theorem 1.1 domain bound `X` for a proper-coloring run on this
+/// graph and input palette (the value used by the `k = X` presets).
+pub fn domain_bound(topology: &Topology, m: u64, d: u32) -> Result<u64, ColoringError> {
+    Ok(SequenceParams::derive(topology.max_degree(), m, d, 1)?.x)
+}
+
+/// Corollary 1.2 (1): Linial's color reduction — a proper `O(Δ²)`-coloring in
+/// a single batch (`k = X`, `d = 0`).
+///
+/// Uses the tight single-round parameterization of Remark 2.2
+/// ([`SequenceParams::derive_one_shot`]), so the output palette is
+/// `q² ≈ (Δ·⌈log_q m⌉)²` rather than the looser `(4fΔ)²` of the general
+/// theorem — this is what lets the iterated reduction of
+/// [`crate::linial`] converge to `O(Δ²)` colors.
+pub fn linial_color_reduction(
+    topology: &Topology,
+    input: &Coloring,
+) -> Result<TrialOutcome, ColoringError> {
+    let params = SequenceParams::derive_one_shot(topology.max_degree(), input.palette())?;
+    trial::run_with_params(topology, input, params, dcme_congest::ExecutionMode::Sequential)
+}
+
+/// Corollary 1.2 (2): a proper `O(kΔ)`-coloring in `O(Δ/k)` rounds.
+pub fn kdelta_coloring(
+    topology: &Topology,
+    input: &Coloring,
+    k: u64,
+) -> Result<TrialOutcome, ColoringError> {
+    trial::run(topology, input, TrialConfig::proper(k))
+}
+
+/// Corollary 1.2 (3): a proper `Δ²`-coloring in `O(1)` rounds (requires an
+/// input coloring with `poly Δ` colors, e.g. the output of
+/// [`crate::linial::delta_squared_from_ids`]).
+pub fn delta_squared_coloring(
+    topology: &Topology,
+    input: &Coloring,
+) -> Result<TrialOutcome, ColoringError> {
+    let delta = topology.max_degree() as u64;
+    let x = domain_bound(topology, input.palette(), 0)?;
+    // k·X ≈ Δ²: matches the paper's k = ⌈Δ/16⌉ choice when X = 16Δ (m = Δ⁴).
+    let k = (delta * delta).div_ceil(x).max(1);
+    trial::run(topology, input, TrialConfig::proper(k))
+}
+
+/// Corollary 1.2 (4): a `β`-outdegree coloring with `O(Δ/β)` colors in
+/// `O(Δ/β)` rounds (`d = β`, `k = 1`).
+///
+/// The returned outcome carries the orientation (Theorem 1.1 (1)); its
+/// maximum outdegree is at most `β`.
+pub fn outdegree_coloring(
+    topology: &Topology,
+    input: &Coloring,
+    beta: u32,
+) -> Result<TrialOutcome, ColoringError> {
+    trial::run(topology, input, TrialConfig::defective(beta, 1))
+}
+
+/// Corollary 1.2 (5): a `d`-defective coloring with `O((Δ/d)²)` colors in a
+/// single batch (`k = X`).
+pub fn defective_one_round(
+    topology: &Topology,
+    input: &Coloring,
+    d: u32,
+) -> Result<TrialOutcome, ColoringError> {
+    let x = domain_bound(topology, input.palette(), d)?;
+    trial::run(topology, input, TrialConfig::defective(d, x))
+}
+
+/// Corollary 1.2 (6): a `d`-defective coloring with `O((Δ/d)²)` colors in
+/// `O(Δ/d)` rounds, obtained from the `(color, part)` pair coloring of the
+/// `k = 1` run.
+///
+/// Returns the pair coloring together with the underlying trial outcome.
+pub fn defective_multi_round(
+    topology: &Topology,
+    input: &Coloring,
+    d: u32,
+) -> Result<(Coloring, TrialOutcome), ColoringError> {
+    let outcome = trial::run(topology, input, TrialConfig::defective(d, 1))?;
+    let pair = outcome.result.pair_coloring();
+    Ok((pair, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+    use dcme_graphs::verify;
+
+    fn regular(n: usize, d: usize, seed: u64) -> (Topology, Coloring) {
+        let g = generators::random_regular(n, d, seed);
+        let ids = Coloring::from_ids(n);
+        (g, ids)
+    }
+
+    #[test]
+    fn corollary_1_linial_reduction_is_one_batch() {
+        let (g, ids) = regular(128, 8, 1);
+        let out = linial_color_reduction(&g, &ids).unwrap();
+        verify::check_proper(&g, out.coloring()).unwrap();
+        assert!(out.metrics.rounds <= 2, "one batch + announce");
+        // O(Δ²)-ish palette: kX = X².
+        assert_eq!(out.params.color_bound(), out.params.x * out.params.x);
+    }
+
+    #[test]
+    fn corollary_2_scaling_rounds_vs_colors() {
+        let (g, ids) = regular(128, 16, 2);
+        let mut prev_rounds = u64::MAX;
+        for k in [1u64, 4, 16, 64] {
+            let out = kdelta_coloring(&g, &ids, k).unwrap();
+            verify::check_proper(&g, out.coloring()).unwrap();
+            assert!(out.metrics.rounds <= out.params.rounds + 1);
+            assert!(out.metrics.rounds <= prev_rounds);
+            prev_rounds = out.metrics.rounds;
+        }
+    }
+
+    #[test]
+    fn corollary_3_delta_squared_in_constant_rounds() {
+        let g = generators::random_regular(200, 16, 3);
+        // Use a poly-Δ input palette: the Δ⁴ regime of the corollary.
+        let delta = g.max_degree() as u64;
+        let m = delta.pow(4).max(200);
+        let ids: Vec<u64> = (0..200u64).collect();
+        let input = Coloring::from_identifiers(&ids, m);
+        let out = delta_squared_coloring(&g, &input).unwrap();
+        verify::check_proper(&g, out.coloring()).unwrap();
+        // Colors at most ~Δ² + X (rounding of k); rounds bounded by a constant
+        // that does not depend on Δ (the paper's ~16Δ/k = 256; here ≤ q/k + 1).
+        assert!(out.params.color_bound() <= delta * delta + out.params.x);
+        assert!(
+            out.metrics.rounds <= 300,
+            "rounds {} should be O(1), i.e. independent of Δ",
+            out.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn corollary_4_outdegree_coloring() {
+        let (g, ids) = regular(150, 16, 4);
+        let beta = 4u32;
+        let out = outdegree_coloring(&g, &ids, beta).unwrap();
+        verify::check_outdegree_orientation(&g, &out.result.oriented, beta as usize).unwrap();
+        // Colors O(Δ/β): the bound is X = 4·Z·f with Z = Δ/(β+1).
+        assert!(out.params.color_bound() <= 4 * out.params.z * out.params.f);
+        assert!(out.metrics.rounds <= out.params.rounds + 1);
+    }
+
+    #[test]
+    fn corollary_5_one_round_defective() {
+        let (g, ids) = regular(150, 16, 5);
+        let d = 4u32;
+        let out = defective_one_round(&g, &ids, d).unwrap();
+        verify::check_defective(&g, out.coloring(), d as usize).unwrap();
+        assert!(out.metrics.rounds <= 2);
+    }
+
+    #[test]
+    fn corollary_6_multi_round_defective_pair_coloring() {
+        let (g, ids) = regular(150, 16, 6);
+        let d = 4u32;
+        let (pair, outcome) = defective_multi_round(&g, &ids, d).unwrap();
+        verify::check_defective(&g, &pair, d as usize).unwrap();
+        assert!(outcome.metrics.rounds <= outcome.params.rounds + 1);
+    }
+
+    #[test]
+    fn domain_bound_matches_params() {
+        let (g, ids) = regular(64, 8, 7);
+        let x = domain_bound(&g, ids.palette(), 0).unwrap();
+        let p = SequenceParams::derive(g.max_degree(), ids.palette(), 0, 1).unwrap();
+        assert_eq!(x, p.x);
+    }
+}

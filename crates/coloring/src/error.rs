@@ -1,0 +1,78 @@
+//! Error types for the coloring library.
+
+use dcme_algebra::sequence::ParamError;
+use dcme_graphs::verify::Violation;
+
+/// Errors returned by the coloring algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColoringError {
+    /// The Theorem 1.1 parameters are invalid for this graph / input coloring.
+    Params(ParamError),
+    /// The supplied input coloring does not cover every node.
+    InputSizeMismatch {
+        /// nodes in the graph
+        nodes: usize,
+        /// entries in the coloring
+        colors: usize,
+    },
+    /// The supplied input coloring is not proper, but the algorithm requires
+    /// a proper input coloring.
+    ImproperInput(Violation),
+    /// The algorithm did not terminate within its round cap (indicates a bug
+    /// or a violated precondition; the paper's algorithms always terminate).
+    DidNotTerminate {
+        /// the cap that was hit
+        round_cap: u64,
+    },
+    /// A postcondition check failed (only produced by debug-checked drivers).
+    PostconditionFailed(Violation),
+    /// A parameter outside its allowed range was supplied.
+    InvalidParameter {
+        /// human-readable description of the violated constraint
+        reason: String,
+    },
+}
+
+impl From<ParamError> for ColoringError {
+    fn from(e: ParamError) -> Self {
+        ColoringError::Params(e)
+    }
+}
+
+impl core::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ColoringError::Params(e) => write!(f, "invalid Theorem 1.1 parameters: {e}"),
+            ColoringError::InputSizeMismatch { nodes, colors } => write!(
+                f,
+                "input coloring has {colors} entries for a graph with {nodes} nodes"
+            ),
+            ColoringError::ImproperInput(v) => write!(f, "input coloring is not proper: {v}"),
+            ColoringError::DidNotTerminate { round_cap } => {
+                write!(f, "algorithm did not terminate within {round_cap} rounds")
+            }
+            ColoringError::PostconditionFailed(v) => write!(f, "postcondition failed: {v}"),
+            ColoringError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_algebra::sequence::ParamError;
+
+    #[test]
+    fn display_variants() {
+        let e: ColoringError = ParamError::ZeroBatch.into();
+        assert!(format!("{e}").contains("Theorem 1.1"));
+        let e = ColoringError::InputSizeMismatch { nodes: 3, colors: 2 };
+        assert!(format!("{e}").contains("3 nodes"));
+        let e = ColoringError::DidNotTerminate { round_cap: 9 };
+        assert!(format!("{e}").contains("9"));
+        let e = ColoringError::InvalidParameter { reason: "k too large".into() };
+        assert!(format!("{e}").contains("k too large"));
+    }
+}

@@ -1,0 +1,58 @@
+//! *Distributed Graph Coloring Made Easy* (Maus, SPAA 2021) — the core library.
+//!
+//! The paper's contribution is one extremely simple CONGEST algorithm
+//! (Theorem 1.1, called the *mother algorithm* here and implemented in
+//! [`trial`]): every node locally derives a sequence of color trials from its
+//! input color and tries them in batches of size `k`, keeping the first trial
+//! that conflicts with at most `d` neighbours.  Depending on the parameters,
+//! this single algorithm yields
+//!
+//! * Linial's one-round color reduction and the `O(Δ²)`-coloring in
+//!   `O(log* n)` rounds ([`linial`], Corollary 1.2 (1)),
+//! * an `O(kΔ)`-coloring in `O(Δ/k)` rounds for any `k` ([`corollary`],
+//!   Corollary 1.2 (2)–(3)),
+//! * `β`-outdegree (arbdefective) colorings and `d`-defective colorings
+//!   ([`corollary`], Corollary 1.2 (4)–(6)),
+//! * the `(Δ+1)`-coloring pipelines built on top ([`elimination`],
+//!   [`schedule`], [`pipeline`]),
+//! * the faster `O(Δ^{1+ε})`-coloring of Theorem 1.3 ([`fast`]),
+//! * `(2, r)`-ruling sets of Theorem 1.5 ([`ruling`]),
+//! * the one-round color reduction of Lemma 4.1 and the tightness
+//!   characterization of Theorem 1.6 ([`reduction`]),
+//! * and the color-space chopping of Observation 5.1 ([`chopping`]).
+//!
+//! Every algorithm runs on the [`dcme_congest`] simulator, is deterministic,
+//! and its outputs are machine-checked against the paper's guarantees by
+//! [`dcme_graphs::verify`] in the test suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dcme_graphs::generators;
+//! use dcme_coloring::pipeline;
+//!
+//! // Color a random-regular network with Δ+1 colors.
+//! let g = generators::random_regular(200, 8, 7);
+//! let result = pipeline::delta_plus_one(&g).unwrap();
+//! assert!(result.coloring.palette() <= g.max_degree() as u64 + 1);
+//! dcme_graphs::verify::check_proper(&g, &result.coloring).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chopping;
+pub mod corollary;
+pub mod elimination;
+pub mod error;
+pub mod fast;
+pub mod linial;
+pub mod list;
+pub mod pipeline;
+pub mod reduction;
+pub mod ruling;
+pub mod schedule;
+pub mod trial;
+
+pub use error::ColoringError;
+pub use trial::{TrialConfig, TrialOutcome};

@@ -1,0 +1,251 @@
+//! End-to-end coloring pipelines: from unique identifiers to the final
+//! palette, with per-phase round accounting.
+//!
+//! The full deterministic `(Δ+1)`-coloring story of the paper is a
+//! composition:
+//!
+//! 1. **Linial** (`O(log* n)` rounds): unique IDs → `O(Δ²)` colors,
+//! 2. **mother algorithm** with `k = 1` (`O(Δ)` rounds): → `O(Δ)` colors,
+//! 3. **class elimination** (`O(Δ)` rounds): → `Δ+1` colors;
+//!
+//! or, for the sublinear-in-Δ route of Section 3.1,
+//!
+//! 1. **Linial**, then
+//! 2. **β-outdegree schedule + per-class list coloring**: → `Δ+1` colors.
+//!
+//! Both drivers return a [`PipelineResult`] with a per-phase breakdown that
+//! the experiment binaries print.
+
+use dcme_congest::{ExecutionMode, RunMetrics, Topology};
+use dcme_graphs::coloring::Coloring;
+
+use crate::elimination;
+use crate::error::ColoringError;
+use crate::linial;
+use crate::schedule;
+use crate::trial::{self, TrialConfig};
+
+/// One phase of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Human-readable phase name.
+    pub name: &'static str,
+    /// Rounds spent in this phase.
+    pub rounds: u64,
+    /// Messages sent in this phase.
+    pub messages: u64,
+    /// Palette size after this phase.
+    pub palette_after: u64,
+}
+
+/// The result of an end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The final proper coloring.
+    pub coloring: Coloring,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+    /// Merged message accounting over all phases.
+    pub metrics: RunMetrics,
+}
+
+impl PipelineResult {
+    /// Total rounds over all phases.
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds).sum()
+    }
+}
+
+/// The simple `(Δ+1)`-coloring pipeline:
+/// Linial → `k = 1` mother algorithm → color-class elimination.
+///
+/// Runs in `O(Δ) + log* n` rounds in total.
+pub fn delta_plus_one(topology: &Topology) -> Result<PipelineResult, ColoringError> {
+    delta_plus_one_with_mode(topology, ExecutionMode::Sequential)
+}
+
+/// Like [`delta_plus_one`] but with an explicit executor.
+pub fn delta_plus_one_with_mode(
+    topology: &Topology,
+    mode: ExecutionMode,
+) -> Result<PipelineResult, ColoringError> {
+    let mut phases = Vec::new();
+    let mut metrics = RunMetrics::default();
+
+    // Phase 1: Linial.
+    let lin = linial::delta_squared_from_ids(topology, None)?;
+    metrics.merge(&lin.metrics);
+    phases.push(PhaseReport {
+        name: "linial",
+        rounds: lin.total_rounds,
+        messages: lin.metrics.messages,
+        palette_after: lin.coloring.palette(),
+    });
+
+    // Phase 2: k = 1 mother algorithm → O(Δ) colors.
+    let trial_out = trial::run(topology, &lin.coloring, TrialConfig { d: 0, k: 1, mode })?;
+    metrics.merge(&trial_out.metrics);
+    phases.push(PhaseReport {
+        name: "trial-k1",
+        rounds: trial_out.metrics.rounds,
+        messages: trial_out.metrics.messages,
+        palette_after: trial_out.coloring().palette(),
+    });
+
+    // Phase 3: eliminate color classes down to Δ+1.
+    let compact = trial_out.coloring().compacted();
+    let (final_coloring, elim_metrics) =
+        elimination::delta_plus_one_by_elimination(topology, &compact, mode)?;
+    metrics.merge(&elim_metrics);
+    phases.push(PhaseReport {
+        name: "class-elimination",
+        rounds: elim_metrics.rounds,
+        messages: elim_metrics.messages,
+        palette_after: final_coloring.palette(),
+    });
+
+    metrics.rounds = phases.iter().map(|p| p.rounds).sum();
+    Ok(PipelineResult {
+        coloring: final_coloring,
+        phases,
+        metrics,
+    })
+}
+
+/// The scheduled `(Δ+1)`-coloring pipeline (Section 3.1 structure):
+/// Linial → β-outdegree schedule → per-class list coloring.
+///
+/// `beta = None` selects `β = Θ(√Δ)`.
+pub fn delta_plus_one_scheduled(
+    topology: &Topology,
+    beta: Option<u32>,
+    mode: ExecutionMode,
+) -> Result<PipelineResult, ColoringError> {
+    let mut phases = Vec::new();
+    let mut metrics = RunMetrics::default();
+
+    let lin = linial::delta_squared_from_ids(topology, None)?;
+    metrics.merge(&lin.metrics);
+    phases.push(PhaseReport {
+        name: "linial",
+        rounds: lin.total_rounds,
+        messages: lin.metrics.messages,
+        palette_after: lin.coloring.palette(),
+    });
+
+    let sched = schedule::scheduled_delta_plus_one(topology, &lin.coloring, beta, mode)?;
+    metrics.merge(&sched.metrics);
+    phases.push(PhaseReport {
+        name: "outdegree-schedule",
+        rounds: sched.schedule_rounds,
+        messages: 0,
+        palette_after: sched.num_classes as u64,
+    });
+    phases.push(PhaseReport {
+        name: "scheduled-list-coloring",
+        rounds: sched.class_rounds,
+        messages: sched.metrics.messages,
+        palette_after: sched.coloring.palette(),
+    });
+
+    metrics.rounds = phases.iter().map(|p| p.rounds).sum();
+    Ok(PipelineResult {
+        coloring: sched.coloring,
+        phases,
+        metrics,
+    })
+}
+
+/// An `O(kΔ)`-coloring from unique identifiers: Linial followed by the
+/// mother algorithm with the requested batch size.
+pub fn kdelta_from_ids(
+    topology: &Topology,
+    k: u64,
+    mode: ExecutionMode,
+) -> Result<PipelineResult, ColoringError> {
+    let mut phases = Vec::new();
+    let mut metrics = RunMetrics::default();
+
+    let lin = linial::delta_squared_from_ids(topology, None)?;
+    metrics.merge(&lin.metrics);
+    phases.push(PhaseReport {
+        name: "linial",
+        rounds: lin.total_rounds,
+        messages: lin.metrics.messages,
+        palette_after: lin.coloring.palette(),
+    });
+
+    let trial_out = trial::run(topology, &lin.coloring, TrialConfig { d: 0, k, mode })?;
+    metrics.merge(&trial_out.metrics);
+    phases.push(PhaseReport {
+        name: "trial",
+        rounds: trial_out.metrics.rounds,
+        messages: trial_out.metrics.messages,
+        palette_after: trial_out.coloring().palette(),
+    });
+
+    metrics.rounds = phases.iter().map(|p| p.rounds).sum();
+    Ok(PipelineResult {
+        coloring: trial_out.coloring().clone(),
+        phases,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+    use dcme_graphs::verify;
+
+    #[test]
+    fn simple_pipeline_reaches_delta_plus_one() {
+        let g = generators::random_regular(150, 8, 21);
+        let out = delta_plus_one(&g).unwrap();
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert_eq!(out.coloring.palette(), g.max_degree() as u64 + 1);
+        assert_eq!(out.phases.len(), 3);
+        assert_eq!(out.total_rounds(), out.metrics.rounds);
+    }
+
+    #[test]
+    fn scheduled_pipeline_reaches_delta_plus_one() {
+        let g = generators::random_regular(150, 12, 22);
+        let out = delta_plus_one_scheduled(&g, None, ExecutionMode::Sequential).unwrap();
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert!(out.coloring.palette() <= g.max_degree() as u64 + 1);
+    }
+
+    #[test]
+    fn pipelines_work_on_many_families() {
+        for g in [
+            generators::ring(64),
+            generators::complete(8),
+            generators::grid(8, 8, true),
+            generators::caterpillar(10, 3),
+            generators::random_tree(80, 4),
+            generators::gnp(80, 0.08, 12),
+        ] {
+            let out = delta_plus_one(&g).unwrap();
+            verify::check_proper(&g, &out.coloring).unwrap();
+            assert!(out.coloring.palette() <= g.max_degree() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn kdelta_pipeline_tracks_phase_rounds() {
+        let g = generators::random_regular(200, 16, 23);
+        let out = kdelta_from_ids(&g, 8, ExecutionMode::Sequential).unwrap();
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert_eq!(out.phases.len(), 2);
+        assert!(out.phases[1].rounds < out.phases[1].palette_after);
+    }
+
+    #[test]
+    fn parallel_mode_gives_identical_coloring() {
+        let g = generators::gnp(100, 0.08, 31);
+        let a = delta_plus_one_with_mode(&g, ExecutionMode::Sequential).unwrap();
+        let b = delta_plus_one_with_mode(&g, ExecutionMode::Parallel { threads: 4 }).unwrap();
+        assert_eq!(a.coloring, b.coloring);
+    }
+}

@@ -1,0 +1,535 @@
+//! One-round color reduction: Lemma 4.1, Theorem 1.6 and the exhaustive
+//! lower-bound search of Lemma 4.3.
+//!
+//! * [`max_reducible`] — the tight threshold of Theorem 1.6: given `m` input
+//!   colors and maximum degree `Δ`, the largest `k` with `m ≥ k(Δ - k + 3)`
+//!   (and `k ≤ min{Δ-1, Δ/2 + 3/2}`) colors can be removed in one round, and
+//!   not one more.
+//! * [`one_round_reduction`] — Algorithm 2: the 1-round CONGEST algorithm
+//!   that removes exactly those `k` colors.
+//! * [`lower_bound`] — the impossibility half, checked *exhaustively* for
+//!   small `(Δ, m)` by deciding whether the "neighbourhood conflict graph"
+//!   (one vertex per possible 1-round view, edges between views that can be
+//!   adjacent) is colorable with the target number of output colors.  A
+//!   1-round deterministic, id-less algorithm is exactly a proper coloring of
+//!   that conflict graph, so unsatisfiability certifies the lower bound.
+
+use dcme_algebra::logstar::bits_for;
+use dcme_congest::{
+    ExecutionMode, Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox, RunMetrics, Simulator,
+    SimulatorConfig, Topology,
+};
+use dcme_graphs::coloring::Coloring;
+use dcme_graphs::verify;
+
+use crate::error::ColoringError;
+
+/// Theorem 1.6 threshold: the largest number of colors removable in one round
+/// from an `m`-coloring on graphs of maximum degree `delta` (0 if none).
+pub fn max_reducible(m: u64, delta: u32) -> u64 {
+    if delta == 0 {
+        // Isolated vertices: everything can collapse to one color, but the
+        // theorem's regime starts at Δ >= 1; report m - 1.
+        return m.saturating_sub(1);
+    }
+    let delta = delta as u64;
+    let k_cap = (delta.saturating_sub(1)).min(delta / 2 + 1 + (delta % 2));
+    // k ≤ Δ/2 + 3/2 means k ≤ floor(Δ/2 + 1.5); for even Δ that is Δ/2 + 1,
+    // for odd Δ it is (Δ+3)/2 = Δ/2 + 2 in integer terms — recompute exactly:
+    let k_cap = k_cap.min(((delta as f64) / 2.0 + 1.5).floor() as u64);
+    let mut best = 0u64;
+    for k in 1..=k_cap {
+        if m >= k * (delta - k + 3) {
+            best = k;
+        }
+    }
+    best
+}
+
+/// The number of input colors required to remove `k` colors in one round
+/// (the right-hand side of Theorem 1.6).
+pub fn required_input_colors(k: u64, delta: u32) -> u64 {
+    k * (delta as u64 - k + 3)
+}
+
+/// Message of Algorithm 2: the sender's input color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputColor(pub u64);
+
+impl MessageSize for InputColor {
+    fn bit_size(&self) -> u64 {
+        bits_for(self.0 + 1) as u64
+    }
+}
+
+/// Shared, locally computable constants of Algorithm 2 for a given `(m, Δ, k)`.
+#[derive(Debug, Clone, Copy)]
+struct ReductionPlan {
+    /// Number of input colors the algorithm is applied to (`k(Δ-k+3)`).
+    mm: u64,
+    /// Number of output colors for the recolored range (`ℓ = k(Δ-k+2)`).
+    ell: u64,
+    /// Number of colors removed.
+    k: u64,
+    /// Regime size `Δ - k + 2`.
+    regime: u64,
+    /// Maximum degree.
+    delta: u64,
+}
+
+impl ReductionPlan {
+    fn new(m: u64, delta: u32, k: u64) -> Self {
+        let delta = delta as u64;
+        let mm = (k * (delta - k + 3)).min(m);
+        let ell = k * (delta - k + 2);
+        Self {
+            mm,
+            ell,
+            k,
+            regime: delta - k + 2,
+            delta,
+        }
+    }
+
+    /// `r_i(j) = i (Δ-k+2) + j`, the `j`-th color of regime `i`.
+    fn regime_color(&self, i: u64, j: u64) -> u64 {
+        i * self.regime + j
+    }
+
+    /// `f_j(ℓ + i)`: the hard-coded "stolen" color that regime `j` reserves
+    /// for the recoloring color `ℓ + i` (`i ≠ j`).  A node whose neighbourhood
+    /// misses the recoloring color `ℓ + j` may steal this color from regime
+    /// `R_j`.  Injective in `i` because the dense index (skipping `j`) is
+    /// `< k - 1 ≤ |R_j|`.
+    fn steal_color(&self, regime_j: u64, my_i: u64) -> u64 {
+        debug_assert!(regime_j != my_i && my_i < self.k);
+        let dense = if my_i < regime_j { my_i } else { my_i - 1 };
+        self.regime_color(regime_j, dense)
+    }
+}
+
+struct ReductionNode {
+    input: u64,
+    plan: ReductionPlan,
+    output: Option<u64>,
+    done: bool,
+}
+
+impl NodeAlgorithm for ReductionNode {
+    type Message = InputColor;
+    type Output = u64;
+
+    fn init(&mut self, _ctx: &NodeContext) {}
+
+    fn send(&mut self, _ctx: &NodeContext) -> Outbox<InputColor> {
+        Outbox::Broadcast(InputColor(self.input))
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<InputColor>) {
+        let plan = self.plan;
+        let neighbor_colors: std::collections::HashSet<u64> =
+            inbox.iter().map(|(_, m)| m.0).collect();
+        let phi = self.input;
+
+        let out = if phi < plan.ell || phi >= plan.mm {
+            // Case 1 (and the m' > m extension): keep the color; colors >= mm
+            // are shifted down by k afterwards to keep the palette dense.
+            if phi >= plan.mm {
+                phi - plan.k
+            } else {
+                phi
+            }
+        } else if neighbor_colors
+            .iter()
+            .all(|&c| c < plan.ell || c >= plan.mm)
+        {
+            // Case 2: no neighbour recolors itself; pick the smallest color
+            // in [Δ+1] unused by the neighbours.
+            (0..=plan.delta)
+                .find(|c| !neighbor_colors.contains(c))
+                .expect("at most Δ neighbours, so [Δ+1] has a free color")
+        } else {
+            // Case 3: build F(v) = R_i ∪ {stolen colors of absent recoloring
+            // colors} and pick the smallest member not used by a neighbour
+            // that keeps its color.
+            let i = phi - plan.ell;
+            let mut pool: Vec<u64> = (0..plan.regime).map(|j| plan.regime_color(i, j)).collect();
+            for j in 0..plan.k {
+                if j != i && !neighbor_colors.contains(&(plan.ell + j)) {
+                    // The recoloring color ℓ+j is absent from the
+                    // neighbourhood: steal the color regime R_j reserves for
+                    // this node's own recoloring color.
+                    pool.push(plan.steal_color(j, i));
+                }
+            }
+            pool.sort_unstable();
+            pool.dedup();
+            pool.into_iter()
+                .find(|c| !neighbor_colors.contains(c))
+                .expect("Lemma 4.1: |F(v)| >= d(v) + 1, so a free color exists")
+        };
+        self.output = Some(out);
+        self.done = true;
+    }
+
+    fn is_halted(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> u64 {
+        self.output.unwrap_or(self.input)
+    }
+}
+
+/// Result of one application of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct ReductionOutcome {
+    /// The new proper coloring with `m - k` colors.
+    pub coloring: Coloring,
+    /// How many colors were removed.
+    pub removed: u64,
+    /// Round/message accounting (always 1 round).
+    pub metrics: RunMetrics,
+}
+
+/// Lemma 4.1 / Algorithm 2: removes [`max_reducible`]`(m, Δ)` colors from a
+/// proper `m`-coloring in a single round.
+///
+/// Returns the input unchanged (with `removed = 0`) when the threshold says
+/// nothing can be removed (i.e. `m ≤ Δ + 1`).
+pub fn one_round_reduction(
+    topology: &Topology,
+    input: &Coloring,
+    mode: ExecutionMode,
+) -> Result<ReductionOutcome, ColoringError> {
+    if input.len() != topology.num_nodes() {
+        return Err(ColoringError::InputSizeMismatch {
+            nodes: topology.num_nodes(),
+            colors: input.len(),
+        });
+    }
+    verify::check_proper(topology, input).map_err(ColoringError::ImproperInput)?;
+
+    let m = input.palette();
+    let delta = topology.max_degree();
+    let k = max_reducible(m, delta);
+    if k == 0 || delta == 0 {
+        return Ok(ReductionOutcome {
+            coloring: input.clone(),
+            removed: 0,
+            metrics: RunMetrics::default(),
+        });
+    }
+    let plan = ReductionPlan::new(m, delta, k);
+
+    let nodes: Vec<ReductionNode> = (0..topology.num_nodes())
+        .map(|v| ReductionNode {
+            input: input.color(v),
+            plan,
+            output: None,
+            done: false,
+        })
+        .collect();
+    let sim = Simulator::with_config(
+        topology,
+        SimulatorConfig {
+            max_rounds: 2,
+            mode,
+        },
+    );
+    let run = sim.run(nodes);
+    let coloring = Coloring::new(run.outputs, m - k);
+    verify::check_proper(topology, &coloring).map_err(ColoringError::PostconditionFailed)?;
+    Ok(ReductionOutcome {
+        coloring,
+        removed: k,
+        metrics: run.metrics,
+    })
+}
+
+/// Iterates [`one_round_reduction`] until no more colors can be removed,
+/// i.e. until the palette reaches `Δ + 1`.  Returns the final coloring and
+/// the number of rounds (= iterations) spent.
+///
+/// This is the classical "iterate the best 1-round algorithm" strategy whose
+/// `Ω(Δ)`-round behaviour the paper contrasts with the `O(1)`-round
+/// Corollary 1.2 (3); experiment E9 reports both.
+pub fn iterate_to_delta_plus_one(
+    topology: &Topology,
+    input: &Coloring,
+    mode: ExecutionMode,
+) -> Result<(Coloring, u64), ColoringError> {
+    let mut current = input.clone();
+    let mut rounds = 0u64;
+    loop {
+        let step = one_round_reduction(topology, &current, mode)?;
+        if step.removed == 0 {
+            return Ok((current, rounds));
+        }
+        rounds += 1;
+        current = step.coloring;
+    }
+}
+
+/// A vertex of the neighbourhood conflict graph: a possible 1-round view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct View {
+    /// The centre's input color.
+    pub center: u64,
+    /// The set of neighbour input colors (sorted, without the centre).
+    pub neighbors: Vec<u64>,
+}
+
+/// Builds all views for graphs of maximum degree `delta` under proper
+/// `m`-colorings, and the conflict relation "these two views can belong to
+/// adjacent nodes".
+///
+/// A deterministic, id-less 1-round algorithm with `q` output colors exists
+/// **iff** this conflict graph is `q`-colorable (each view must be assigned
+/// an output color, and views that can be adjacent must get distinct ones).
+pub fn conflict_graph(delta: u32, m: u64) -> (Vec<View>, Vec<Vec<usize>>) {
+    let mut views = Vec::new();
+    let colors: Vec<u64> = (0..m).collect();
+    for &center in &colors {
+        let others: Vec<u64> = colors.iter().copied().filter(|&c| c != center).collect();
+        // All subsets of size 0..=delta of the other colors.
+        let mut stack: Vec<(usize, Vec<u64>)> = vec![(0, Vec::new())];
+        while let Some((start, subset)) = stack.pop() {
+            views.push(View {
+                center,
+                neighbors: subset.clone(),
+            });
+            if subset.len() == delta as usize {
+                continue;
+            }
+            for idx in start..others.len() {
+                let mut next = subset.clone();
+                next.push(others[idx]);
+                stack.push((idx + 1, next));
+            }
+        }
+    }
+    // Deduplicate (the stack construction can revisit the empty prefix).
+    views.sort_by(|a, b| (a.center, &a.neighbors).cmp(&(b.center, &b.neighbors)));
+    views.dedup();
+
+    let n = views.len();
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &views[i];
+            let b = &views[j];
+            if a.neighbors.contains(&b.center) && b.neighbors.contains(&a.center) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    (views, adj)
+}
+
+/// Decides whether the conflict graph for `(delta, m)` is colorable with `q`
+/// colors, i.e. whether a 1-round algorithm from `m` to `q` colors exists.
+///
+/// Returns `None` if the backtracking search exceeds `step_budget` steps
+/// (only relevant for parameters well beyond the tiny cases the lower-bound
+/// experiment uses).
+pub fn one_round_algorithm_exists(delta: u32, m: u64, q: u64, step_budget: u64) -> Option<bool> {
+    let (_views, adj) = conflict_graph(delta, m);
+    let n = adj.len();
+    // Order vertices by degree (descending) for better pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+    let mut assignment: Vec<Option<u64>> = vec![None; n];
+    let mut steps = 0u64;
+
+    fn backtrack(
+        pos: usize,
+        order: &[usize],
+        adj: &[Vec<usize>],
+        q: u64,
+        assignment: &mut Vec<Option<u64>>,
+        steps: &mut u64,
+        budget: u64,
+    ) -> Option<bool> {
+        if pos == order.len() {
+            return Some(true);
+        }
+        *steps += 1;
+        if *steps > budget {
+            return None;
+        }
+        let v = order[pos];
+        let forbidden: std::collections::HashSet<u64> = adj[v]
+            .iter()
+            .filter_map(|&u| assignment[u])
+            .collect();
+        // Symmetry breaking: only try colors up to (max used so far) + 1.
+        let max_used = assignment.iter().flatten().copied().max();
+        let cap = match max_used {
+            Some(c) => (c + 1).min(q - 1),
+            None => 0,
+        };
+        for color in 0..=cap {
+            if forbidden.contains(&color) {
+                continue;
+            }
+            assignment[v] = Some(color);
+            match backtrack(pos + 1, order, adj, q, assignment, steps, budget) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+            assignment[v] = None;
+        }
+        Some(false)
+    }
+
+    if q == 0 {
+        return Some(n == 0);
+    }
+    backtrack(0, &order, &adj, q, &mut assignment, &mut steps, step_budget)
+}
+
+/// The lower-bound statement of Theorem 1.6 for small parameters: verifies
+/// exhaustively that no 1-round algorithm can output `m - k - 1` colors when
+/// `m ≤ k(Δ - k + 3) - 1`, and that `m - k` colors are achievable.
+///
+/// Returns `(achievable, impossible)` where both should be `Some(true)` when
+/// the search completes within the budget.
+pub fn lower_bound(delta: u32, m: u64, step_budget: u64) -> (Option<bool>, Option<bool>) {
+    let k = max_reducible(m, delta);
+    let achievable = one_round_algorithm_exists(delta, m, m - k, step_budget);
+    let impossible = if m > delta as u64 + 1 {
+        one_round_algorithm_exists(delta, m, m - k - 1, step_budget).map(|exists| !exists)
+    } else {
+        // With m <= Δ+1 nothing can be reduced; the "impossible" half is that
+        // even removing a single color is impossible.
+        one_round_algorithm_exists(delta, m, m - 1, step_budget).map(|exists| !exists)
+    };
+    (achievable, impossible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+
+    #[test]
+    fn threshold_matches_paper_examples() {
+        // "to reduce 1 color one needs at least Δ+2 input colors, to reduce 2
+        //  colors one needs 2Δ+2, 3 colors -> 3Δ, 4 colors -> 4Δ-4, ..."
+        for delta in [8u32, 16, 31] {
+            let d = delta as u64;
+            assert_eq!(required_input_colors(1, delta), d + 2);
+            assert_eq!(required_input_colors(2, delta), 2 * d + 2);
+            assert_eq!(required_input_colors(3, delta), 3 * d);
+            assert_eq!(required_input_colors(4, delta), 4 * d - 4);
+            assert_eq!(required_input_colors(5, delta), 5 * d - 10);
+            assert_eq!(required_input_colors(6, delta), 6 * d - 18);
+        }
+        assert_eq!(max_reducible(10, 8), 1);
+        assert_eq!(max_reducible(9, 8), 0);
+        assert_eq!(max_reducible(18, 8), 2);
+        assert_eq!(max_reducible(24, 8), 3);
+    }
+
+    #[test]
+    fn one_round_reduction_removes_exactly_k_colors() {
+        let g = generators::random_regular(200, 8, 4);
+        let delta = g.max_degree();
+        // Give the graph an input coloring with exactly the threshold size.
+        let m = required_input_colors(3, delta);
+        let input = {
+            // A proper coloring with m colors: start from ids and fold.
+            let base = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+            // Ensure palette >= m by padding, or reduce to exactly m with the
+            // elimination routine if it is larger.
+            if base.palette() > m {
+                crate::elimination::reduce_to_target(&g, &base, m, ExecutionMode::Sequential)
+                    .unwrap()
+                    .0
+            } else {
+                base.with_palette(m)
+            }
+        };
+        let out = one_round_reduction(&g, &input, ExecutionMode::Sequential).unwrap();
+        assert_eq!(out.removed, max_reducible(m, delta));
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert_eq!(out.coloring.palette(), m - out.removed);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn reduction_below_threshold_is_a_noop() {
+        let g = generators::complete(5); // Δ = 4, threshold needs >= Δ+2 = 6 colors
+        let input = Coloring::from_ids(5);
+        let out = one_round_reduction(&g, &input, ExecutionMode::Sequential).unwrap();
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.coloring, input);
+    }
+
+    #[test]
+    fn iterated_reduction_reaches_delta_plus_one_on_small_palettes() {
+        let g = generators::random_regular(100, 6, 2);
+        let delta = g.max_degree() as u64;
+        let start = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+        let small = crate::elimination::reduce_to_target(
+            &g,
+            &start,
+            3 * delta,
+            ExecutionMode::Sequential,
+        )
+        .unwrap()
+        .0;
+        let (final_coloring, rounds) =
+            iterate_to_delta_plus_one(&g, &small, ExecutionMode::Sequential).unwrap();
+        verify::check_proper(&g, &final_coloring).unwrap();
+        assert_eq!(final_coloring.palette(), delta + 1);
+        // Each round removes at most ~Δ/2 colors, so at least a few rounds.
+        assert!(rounds >= 2, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn conflict_graph_small_counts() {
+        // Δ = 2, m = 3: views = 3 centres × (1 + 2 + 1) subsets = 12.
+        let (views, adj) = conflict_graph(2, 3);
+        assert_eq!(views.len(), 12);
+        assert_eq!(adj.len(), 12);
+        // Conflict relation is symmetric.
+        for (v, neigh) in adj.iter().enumerate() {
+            for &u in neigh {
+                assert!(adj[u].contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn one_round_characterization_delta_2() {
+        // Δ = 2: reducing 1 color needs m >= Δ+2 = 4 input colors.
+        // m = 4 -> 3 colors achievable, 2 impossible.
+        assert_eq!(one_round_algorithm_exists(2, 4, 3, 2_000_000), Some(true));
+        assert_eq!(one_round_algorithm_exists(2, 4, 2, 2_000_000), Some(false));
+        // m = 5 -> threshold still k = 1 (need 6 for k = 2): 4 achievable, 3 not.
+        assert_eq!(one_round_algorithm_exists(2, 5, 4, 2_000_000), Some(true));
+        assert_eq!(one_round_algorithm_exists(2, 5, 3, 2_000_000), Some(false));
+        // m = 3 = Δ+1: no reduction possible.
+        assert_eq!(one_round_algorithm_exists(2, 3, 2, 2_000_000), Some(false));
+    }
+
+    #[test]
+    fn lower_bound_helper_combines_both_halves() {
+        let (achievable, impossible) = lower_bound(2, 4, 2_000_000);
+        assert_eq!(achievable, Some(true));
+        assert_eq!(impossible, Some(true));
+    }
+
+    #[test]
+    fn reduction_bandwidth_is_congest() {
+        let g = generators::random_regular(128, 8, 1);
+        let start = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+        let out = one_round_reduction(&g, &start, ExecutionMode::Sequential).unwrap();
+        let report = dcme_congest::BandwidthReport::check(128, &out.metrics, 4);
+        assert!(report.within_congest, "{report}");
+    }
+}

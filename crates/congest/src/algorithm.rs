@@ -1,0 +1,184 @@
+//! The per-node algorithm interface.
+//!
+//! A distributed algorithm is a state machine replicated at every node.  Per
+//! synchronous round the simulator
+//!
+//! 1. asks every *active* node for its outgoing messages ([`NodeAlgorithm::send`]),
+//! 2. delivers all messages along the edges,
+//! 3. hands every active node its inbox ([`NodeAlgorithm::receive`]).
+//!
+//! A node signals termination through [`NodeAlgorithm::is_halted`]; a halted
+//! node neither sends nor receives (its last messages of the round in which
+//! it halted are still delivered).  When all nodes have halted, the round in
+//! which the last node halted is the measured round complexity.
+//!
+//! Nodes address neighbours exclusively through *ports* — they never learn
+//! neighbour identifiers unless a neighbour announces its own, which mirrors
+//! the LOCAL/CONGEST assumption that nodes "are unaware of the IDs of their
+//! neighbors" (Section 1.1 of the paper).
+
+use crate::topology::Port;
+
+/// Bit-size accounting for CONGEST bandwidth checks.
+///
+/// Every message type used with the simulator reports how many bits it would
+/// occupy on the wire.  The simulator records the maximum over all messages
+/// of a run so experiments can assert the `O(log n)` CONGEST bound.
+pub trait MessageSize {
+    /// The number of bits this message occupies on the wire.
+    fn bit_size(&self) -> u64;
+}
+
+impl MessageSize for u64 {
+    fn bit_size(&self) -> u64 {
+        64 - self.leading_zeros() as u64
+    }
+}
+
+impl MessageSize for () {
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+/// Read-only per-node information available in every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeContext {
+    /// The node's own identifier (usable as an input color / unique ID).
+    pub node: usize,
+    /// The node's degree (number of ports).
+    pub degree: usize,
+    /// The global number of nodes `n` (global knowledge, as in the paper).
+    pub n: usize,
+    /// The global maximum degree `Δ` (global knowledge).
+    pub max_degree: u32,
+    /// The current round, starting at 0 for the first send/receive exchange.
+    pub round: u64,
+}
+
+/// What a node wants to transmit in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outbox<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message over every port (the common case for the
+    /// paper's algorithms: announce your input color / your adopted color).
+    Broadcast(M),
+    /// Send distinct messages over selected ports.
+    PerPort(Vec<(Port, M)>),
+}
+
+impl<M> Outbox<M> {
+    /// True if nothing is sent.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Outbox::Silent)
+            || matches!(self, Outbox::PerPort(v) if v.is_empty())
+    }
+}
+
+/// The messages a node received in one round, tagged by the port on which
+/// they arrived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inbox<M> {
+    messages: Vec<(Port, M)>,
+}
+
+impl<M> Inbox<M> {
+    /// Creates an inbox from `(port, message)` pairs.
+    pub fn new(mut messages: Vec<(Port, M)>) -> Self {
+        messages.sort_by_key(|(p, _)| *p);
+        Self { messages }
+    }
+
+    /// An empty inbox.
+    pub fn empty() -> Self {
+        Self {
+            messages: Vec::new(),
+        }
+    }
+
+    /// Iterator over `(port, message)` pairs in port order.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
+        self.messages.iter().map(|(p, m)| (*p, m))
+    }
+
+    /// The message that arrived on `port`, if any.
+    pub fn from_port(&self, port: Port) -> Option<&M> {
+        self.messages
+            .binary_search_by_key(&port, |(p, _)| *p)
+            .ok()
+            .map(|i| &self.messages[i].1)
+    }
+
+    /// Number of messages received.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no message was received.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// The per-node state machine of a distributed algorithm.
+///
+/// Implementations must be deterministic functions of their explicit state
+/// for runs to be reproducible and executor-independent (the parallel and
+/// sequential executors are required to produce identical outputs).
+pub trait NodeAlgorithm: Send {
+    /// The message type exchanged over edges.
+    type Message: Clone + Send + MessageSize;
+    /// The node's final output (e.g. its color).
+    type Output: Clone + Send;
+
+    /// Called once before round 0 with the node's static context.
+    fn init(&mut self, ctx: &NodeContext);
+
+    /// Produces this round's outgoing messages.
+    fn send(&mut self, ctx: &NodeContext) -> Outbox<Self::Message>;
+
+    /// Consumes this round's incoming messages and updates local state.
+    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<Self::Message>);
+
+    /// Whether this node has terminated (produced its final output).
+    fn is_halted(&self) -> bool;
+
+    /// The node's output.  Only meaningful once [`Self::is_halted`] is true,
+    /// or when the simulator stops the run at its round cap.
+    fn output(&self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inbox_sorts_and_looks_up_by_port() {
+        let inbox = Inbox::new(vec![(2, "c"), (0, "a"), (1, "b")]);
+        let collected: Vec<_> = inbox.iter().map(|(p, m)| (p, *m)).collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+        assert_eq!(inbox.from_port(1), Some(&"b"));
+        assert_eq!(inbox.from_port(7), None);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert!(Inbox::<u64>::empty().is_empty());
+    }
+
+    #[test]
+    fn outbox_silence() {
+        assert!(Outbox::<u64>::Silent.is_silent());
+        assert!(Outbox::<u64>::PerPort(vec![]).is_silent());
+        assert!(!Outbox::Broadcast(3u64).is_silent());
+        assert!(!Outbox::PerPort(vec![(0, 1u64)]).is_silent());
+    }
+
+    #[test]
+    fn u64_message_size_is_bit_length() {
+        assert_eq!(0u64.bit_size(), 0);
+        assert_eq!(1u64.bit_size(), 1);
+        assert_eq!(255u64.bit_size(), 8);
+        assert_eq!(256u64.bit_size(), 9);
+        assert_eq!(().bit_size(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! CONGEST bandwidth verification.
+//!
+//! The CONGEST model allows messages of at most `O(log n)` bits.  The
+//! simulator records the largest message of a run; this module turns that
+//! into a pass/fail report against a configurable constant `c` in the bound
+//! `c · max(1, log₂ n)` so experiments (E12) can assert CONGEST feasibility.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RunMetrics;
+
+/// The outcome of checking a run against the CONGEST bandwidth bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthReport {
+    /// Number of nodes of the network the run was executed on.
+    pub n: usize,
+    /// The largest message observed, in bits.
+    pub max_message_bits: u64,
+    /// The bound `c · max(1, ⌈log₂ n⌉)` the run was checked against.
+    pub allowed_bits: u64,
+    /// The constant `c` used.
+    pub constant: u64,
+    /// Whether every message respected the bound.
+    pub within_congest: bool,
+}
+
+impl BandwidthReport {
+    /// Checks the metrics of a run on an `n`-node network against the bound
+    /// `c · max(1, ⌈log₂ n⌉)` bits per message.
+    pub fn check(n: usize, metrics: &RunMetrics, constant: u64) -> Self {
+        let log_n = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as u64
+        };
+        let allowed = constant * log_n.max(1);
+        Self {
+            n,
+            max_message_bits: metrics.max_message_bits,
+            allowed_bits: allowed,
+            constant,
+            within_congest: metrics.max_message_bits <= allowed,
+        }
+    }
+}
+
+impl core::fmt::Display for BandwidthReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "max message {} bits vs allowed {} bits (c={} on n={}): {}",
+            self.max_message_bits,
+            self.allowed_bits,
+            self.constant,
+            self.n,
+            if self.within_congest { "OK" } else { "VIOLATION" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_and_over_bound() {
+        let mut m = RunMetrics::default();
+        m.record_message(12);
+        let ok = BandwidthReport::check(1024, &m, 2);
+        assert_eq!(ok.allowed_bits, 20);
+        assert!(ok.within_congest);
+
+        m.record_message(64);
+        let bad = BandwidthReport::check(1024, &m, 2);
+        assert!(!bad.within_congest);
+        assert_eq!(bad.max_message_bits, 64);
+    }
+
+    #[test]
+    fn tiny_networks_get_a_floor_of_one_logn() {
+        let m = RunMetrics::default();
+        let r = BandwidthReport::check(1, &m, 3);
+        assert_eq!(r.allowed_bits, 3);
+        assert!(r.within_congest);
+    }
+
+    #[test]
+    fn display_mentions_verdict() {
+        let mut m = RunMetrics::default();
+        m.record_message(5);
+        let r = BandwidthReport::check(64, &m, 4);
+        let s = format!("{r}");
+        assert!(s.contains("OK"));
+    }
+}

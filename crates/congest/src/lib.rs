@@ -1,0 +1,45 @@
+//! A synchronous message-passing simulator for the LOCAL and CONGEST models.
+//!
+//! The algorithms of *Distributed Graph Coloring Made Easy* are stated in the
+//! classical synchronous models of distributed computing [Lin92, Pel00]:
+//!
+//! * the network is an undirected graph `G = (V, E)` with maximum degree `Δ`;
+//! * computation proceeds in synchronous rounds; per round every node may
+//!   send one message over each incident edge, receive the messages of its
+//!   neighbours, and perform arbitrary local computation;
+//! * in the **LOCAL** model messages are unbounded, in the **CONGEST** model
+//!   they carry at most `O(log n)` bits;
+//! * nodes initially know only their own identifier / input color, the
+//!   global parameters (`n`, `Δ`, `m`, …), and the *ports* to their
+//!   neighbours — not the neighbours' identifiers.
+//!
+//! This crate is that model, made executable:
+//!
+//! * [`topology::Topology`] — the immutable communication graph with port
+//!   numbering,
+//! * [`algorithm::NodeAlgorithm`] — the per-node state machine interface
+//!   (init / send / receive / output),
+//! * [`simulator::Simulator`] — the synchronous round engine, with a
+//!   sequential and a [crossbeam]-parallel executor that produce identical
+//!   results,
+//! * [`metrics::RunMetrics`] and [`bandwidth`] — round, message and bit
+//!   accounting so experiments can check the CONGEST `O(log n)`-bit bound.
+//!
+//! The simulator is deterministic: given the same topology and the same
+//! (deterministic) node algorithms it always produces the same outputs,
+//! regardless of which executor is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod bandwidth;
+pub mod metrics;
+pub mod simulator;
+pub mod topology;
+
+pub use algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
+pub use bandwidth::BandwidthReport;
+pub use metrics::RunMetrics;
+pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
+pub use topology::{NodeId, Port, Topology, TopologyError};

@@ -1,0 +1,82 @@
+//! Round, message and bandwidth accounting for simulator runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate metrics of one simulator run.
+///
+/// `rounds` is the number of synchronous rounds that were executed before
+/// every node had halted (or the cap was reached); this is the quantity every
+/// theorem of the paper bounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Total number of point-to-point messages delivered.
+    pub messages: u64,
+    /// Total number of bits transmitted (sum of message sizes).
+    pub total_bits: u64,
+    /// The largest single message observed, in bits.
+    pub max_message_bits: u64,
+    /// Whether the run stopped because the round cap was hit rather than
+    /// because every node halted.
+    pub hit_round_cap: bool,
+    /// Per-round count of nodes that were still active at the start of the
+    /// round (useful to see how fast the algorithm "drains").
+    pub active_per_round: Vec<usize>,
+}
+
+impl RunMetrics {
+    /// Records one delivered message of the given size.
+    pub fn record_message(&mut self, bits: u64) {
+        self.messages += 1;
+        self.total_bits += bits;
+        if bits > self.max_message_bits {
+            self.max_message_bits = bits;
+        }
+    }
+
+    /// Merges another metrics object into this one (used by the parallel
+    /// executor to combine per-shard counters).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+
+    /// Average message size in bits (0 if no messages were sent).
+    pub fn mean_message_bits(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = RunMetrics::default();
+        a.record_message(10);
+        a.record_message(20);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.total_bits, 30);
+        assert_eq!(a.max_message_bits, 20);
+        assert!((a.mean_message_bits() - 15.0).abs() < 1e-9);
+
+        let mut b = RunMetrics::default();
+        b.record_message(40);
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.total_bits, 70);
+        assert_eq!(a.max_message_bits, 40);
+    }
+
+    #[test]
+    fn empty_metrics_mean_is_zero() {
+        assert_eq!(RunMetrics::default().mean_message_bits(), 0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The synchronous round engine.
+//!
+//! [`Simulator::run`] drives a vector of per-node state machines (one
+//! [`NodeAlgorithm`] instance per vertex) through synchronous rounds until
+//! every node has halted or a configurable round cap is reached.  Two
+//! executors are available:
+//!
+//! * **Sequential** — the reference implementation; trivially deterministic.
+//! * **Parallel** — nodes are partitioned across [crossbeam] scoped threads
+//!   for the send and receive phases.  Because a round's sends depend only on
+//!   state from the previous round and receives only touch node-local state,
+//!   the result is bit-for-bit identical to the sequential executor (this is
+//!   asserted by tests and integration tests).
+//!
+//! The engine also performs CONGEST accounting: every delivered message is
+//! charged its [`MessageSize::bit_size`], and the largest message of the run
+//! is reported in [`RunMetrics::max_message_bits`].
+
+use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
+use crate::metrics::RunMetrics;
+use crate::topology::Topology;
+
+/// How rounds are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Process nodes one after another on the calling thread.
+    Sequential,
+    /// Process nodes in parallel using the given number of worker threads.
+    Parallel {
+        /// Number of worker threads (at least 1).
+        threads: usize,
+    },
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        ExecutionMode::Sequential
+    }
+}
+
+/// Configuration of a simulator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulatorConfig {
+    /// Hard cap on the number of rounds; prevents runaway algorithms.
+    pub max_rounds: u64,
+    /// Executor selection.
+    pub mode: ExecutionMode,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 1_000_000,
+            mode: ExecutionMode::Sequential,
+        }
+    }
+}
+
+/// The result of a run: one output per node plus the run metrics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Round/message/bit accounting.
+    pub metrics: RunMetrics,
+}
+
+/// The synchronous round engine for a fixed topology.
+pub struct Simulator<'a> {
+    topology: &'a Topology,
+    config: SimulatorConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with the default (sequential) configuration.
+    pub fn new(topology: &'a Topology) -> Self {
+        Self {
+            topology,
+            config: SimulatorConfig::default(),
+        }
+    }
+
+    /// Creates a simulator with an explicit configuration.
+    pub fn with_config(topology: &'a Topology, config: SimulatorConfig) -> Self {
+        Self { topology, config }
+    }
+
+    /// The topology this simulator runs on.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Runs the algorithm to completion (or to the round cap).
+    ///
+    /// `nodes` must contain exactly one state machine per vertex, indexed by
+    /// node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the number of vertices.
+    pub fn run<A: NodeAlgorithm>(&self, mut nodes: Vec<A>) -> RunOutcome<A::Output> {
+        let n = self.topology.num_nodes();
+        assert_eq!(
+            nodes.len(),
+            n,
+            "need exactly one algorithm instance per node"
+        );
+
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|v| NodeContext {
+                node: v,
+                degree: self.topology.degree(v),
+                n,
+                max_degree: self.topology.max_degree(),
+                round: 0,
+            })
+            .collect();
+
+        for (node, ctx) in nodes.iter_mut().zip(&contexts) {
+            node.init(ctx);
+        }
+
+        let mut metrics = RunMetrics::default();
+        let mut round: u64 = 0;
+
+        loop {
+            let active: Vec<bool> = nodes.iter().map(|a| !a.is_halted()).collect();
+            let active_count = active.iter().filter(|&&a| a).count();
+            if active_count == 0 {
+                break;
+            }
+            if round >= self.config.max_rounds {
+                metrics.hit_round_cap = true;
+                break;
+            }
+            metrics.active_per_round.push(active_count);
+
+            let round_ctx: Vec<NodeContext> = contexts
+                .iter()
+                .map(|c| NodeContext { round, ..*c })
+                .collect();
+
+            // --- Send phase -------------------------------------------------
+            let outboxes: Vec<Outbox<A::Message>> = match self.config.mode {
+                ExecutionMode::Sequential => nodes
+                    .iter_mut()
+                    .zip(&round_ctx)
+                    .zip(&active)
+                    .map(|((node, ctx), &is_active)| {
+                        if is_active {
+                            node.send(ctx)
+                        } else {
+                            Outbox::Silent
+                        }
+                    })
+                    .collect(),
+                ExecutionMode::Parallel { threads } => {
+                    parallel_send(&mut nodes, &round_ctx, &active, threads)
+                }
+            };
+
+            // --- Delivery ---------------------------------------------------
+            let mut inboxes: Vec<Vec<(usize, A::Message)>> = vec![Vec::new(); n];
+            for (v, outbox) in outboxes.into_iter().enumerate() {
+                match outbox {
+                    Outbox::Silent => {}
+                    Outbox::Broadcast(msg) => {
+                        for p in 0..self.topology.degree(v) {
+                            let u = self.topology.neighbor_at(v, p);
+                            let rp = self.topology.reverse_port(v, p);
+                            metrics.record_message(msg.bit_size());
+                            if active[u] {
+                                inboxes[u].push((rp, msg.clone()));
+                            }
+                        }
+                    }
+                    Outbox::PerPort(list) => {
+                        for (p, msg) in list {
+                            assert!(
+                                p < self.topology.degree(v),
+                                "node {v} sent on nonexistent port {p}"
+                            );
+                            let u = self.topology.neighbor_at(v, p);
+                            let rp = self.topology.reverse_port(v, p);
+                            metrics.record_message(msg.bit_size());
+                            if active[u] {
+                                inboxes[u].push((rp, msg));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Receive phase ----------------------------------------------
+            match self.config.mode {
+                ExecutionMode::Sequential => {
+                    for (v, node) in nodes.iter_mut().enumerate() {
+                        if active[v] {
+                            let inbox = Inbox::new(std::mem::take(&mut inboxes[v]));
+                            node.receive(&round_ctx[v], &inbox);
+                        }
+                    }
+                }
+                ExecutionMode::Parallel { threads } => {
+                    parallel_receive(&mut nodes, &round_ctx, &active, inboxes, threads);
+                }
+            }
+
+            round += 1;
+        }
+
+        metrics.rounds = round;
+        let outputs = nodes.iter().map(|a| a.output()).collect();
+        RunOutcome { outputs, metrics }
+    }
+}
+
+/// Parallel send phase: nodes are chunked and each chunk is processed by a
+/// scoped worker thread.
+fn parallel_send<A: NodeAlgorithm>(
+    nodes: &mut [A],
+    contexts: &[NodeContext],
+    active: &[bool],
+    threads: usize,
+) -> Vec<Outbox<A::Message>> {
+    let threads = threads.max(1);
+    let n = nodes.len();
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out: Vec<Outbox<A::Message>> = Vec::with_capacity(n);
+
+    let node_chunks: Vec<&mut [A]> = nodes.chunks_mut(chunk).collect();
+    let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
+    let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
+
+    let results: Vec<Vec<Outbox<A::Message>>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = node_chunks
+            .into_iter()
+            .zip(ctx_chunks)
+            .zip(active_chunks)
+            .map(|((nodes_chunk, ctx_chunk), active_chunk)| {
+                scope.spawn(move |_| {
+                    nodes_chunk
+                        .iter_mut()
+                        .zip(ctx_chunk)
+                        .zip(active_chunk)
+                        .map(|((node, ctx), &is_active)| {
+                            if is_active {
+                                node.send(ctx)
+                            } else {
+                                Outbox::Silent
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("send-phase worker panicked");
+
+    for chunk_result in results {
+        out.extend(chunk_result);
+    }
+    out
+}
+
+/// Parallel receive phase.
+fn parallel_receive<A: NodeAlgorithm>(
+    nodes: &mut [A],
+    contexts: &[NodeContext],
+    active: &[bool],
+    mut inboxes: Vec<Vec<(usize, A::Message)>>,
+    threads: usize,
+) {
+    let threads = threads.max(1);
+    let n = nodes.len();
+    let chunk = n.div_ceil(threads).max(1);
+
+    let node_chunks: Vec<&mut [A]> = nodes.chunks_mut(chunk).collect();
+    let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
+    let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
+    let inbox_chunks: Vec<&mut [Vec<(usize, A::Message)>]> = inboxes.chunks_mut(chunk).collect();
+
+    crossbeam::scope(|scope| {
+        for (((nodes_chunk, ctx_chunk), active_chunk), inbox_chunk) in node_chunks
+            .into_iter()
+            .zip(ctx_chunks)
+            .zip(active_chunks)
+            .zip(inbox_chunks)
+        {
+            scope.spawn(move |_| {
+                for (((node, ctx), &is_active), inbox) in nodes_chunk
+                    .iter_mut()
+                    .zip(ctx_chunk)
+                    .zip(active_chunk)
+                    .zip(inbox_chunk.iter_mut())
+                {
+                    if is_active {
+                        let inbox = Inbox::new(std::mem::take(inbox));
+                        node.receive(ctx, &inbox);
+                    }
+                }
+            });
+        }
+    })
+    .expect("receive-phase worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    /// A toy algorithm: every node broadcasts its id for `ttl` rounds and
+    /// records the sum of everything it heard, then halts.
+    #[derive(Debug, Clone)]
+    struct GossipSum {
+        id: u64,
+        ttl: u64,
+        heard: u64,
+        rounds_done: u64,
+    }
+
+    impl GossipSum {
+        fn new(ttl: u64) -> Self {
+            Self {
+                id: 0,
+                ttl,
+                heard: 0,
+                rounds_done: 0,
+            }
+        }
+    }
+
+    impl NodeAlgorithm for GossipSum {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) {
+            self.id = ctx.node as u64;
+        }
+
+        fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+            Outbox::Broadcast(self.id)
+        }
+
+        fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<u64>) {
+            for (_, m) in inbox.iter() {
+                self.heard += *m;
+            }
+            self.rounds_done += 1;
+        }
+
+        fn is_halted(&self) -> bool {
+            self.rounds_done >= self.ttl
+        }
+
+        fn output(&self) -> u64 {
+            self.heard
+        }
+    }
+
+    fn triangle() -> Topology {
+        Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn gossip_on_triangle_counts_rounds_and_messages() {
+        let g = triangle();
+        let sim = Simulator::new(&g);
+        let nodes: Vec<GossipSum> = (0..3).map(|_| GossipSum::new(2)).collect();
+        let outcome = sim.run(nodes);
+        assert_eq!(outcome.metrics.rounds, 2);
+        // Each round every node broadcasts to 2 neighbours: 6 messages/round.
+        assert_eq!(outcome.metrics.messages, 12);
+        assert!(!outcome.metrics.hit_round_cap);
+        // Node 0 hears 1 and 2 each round: (1+2)*2 = 6.
+        assert_eq!(outcome.outputs[0], 6);
+        assert_eq!(outcome.outputs[1], (0 + 2) * 2);
+        assert_eq!(outcome.outputs[2], (0 + 1) * 2);
+        assert_eq!(outcome.metrics.active_per_round, vec![3, 3]);
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        let g = triangle();
+        let sim = Simulator::with_config(
+            &g,
+            SimulatorConfig {
+                max_rounds: 3,
+                mode: ExecutionMode::Sequential,
+            },
+        );
+        let nodes: Vec<GossipSum> = (0..3).map(|_| GossipSum::new(u64::MAX)).collect();
+        let outcome = sim.run(nodes);
+        assert_eq!(outcome.metrics.rounds, 3);
+        assert!(outcome.metrics.hit_round_cap);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Ring of 64 nodes.
+        let n = 64;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Topology::from_edges(n, &edges).unwrap();
+
+        let seq = Simulator::new(&g).run((0..n).map(|_| GossipSum::new(5)).collect::<Vec<_>>());
+        let par = Simulator::with_config(
+            &g,
+            SimulatorConfig {
+                max_rounds: 1_000_000,
+                mode: ExecutionMode::Parallel { threads: 4 },
+            },
+        )
+        .run((0..n).map(|_| GossipSum::new(5)).collect::<Vec<_>>());
+
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+        assert_eq!(seq.metrics.messages, par.metrics.messages);
+        assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
+    }
+
+    #[test]
+    fn zero_round_algorithm_terminates_immediately() {
+        #[derive(Clone)]
+        struct Immediate;
+        impl NodeAlgorithm for Immediate {
+            type Message = u64;
+            type Output = ();
+            fn init(&mut self, _ctx: &NodeContext) {}
+            fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+                Outbox::Silent
+            }
+            fn receive(&mut self, _ctx: &NodeContext, _inbox: &Inbox<u64>) {}
+            fn is_halted(&self) -> bool {
+                true
+            }
+            fn output(&self) {}
+        }
+        let g = triangle();
+        let outcome = Simulator::new(&g).run(vec![Immediate, Immediate, Immediate]);
+        assert_eq!(outcome.metrics.rounds, 0);
+        assert_eq!(outcome.metrics.messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one algorithm instance per node")]
+    fn mismatched_node_count_panics() {
+        let g = triangle();
+        let _ = Simulator::new(&g).run(vec![GossipSum::new(1)]);
+    }
+
+    #[test]
+    fn per_port_messages_are_routed_correctly() {
+        /// Sends its id only on port 0 for one round; records what it heard.
+        #[derive(Clone)]
+        struct PortZero {
+            id: u64,
+            heard: Vec<(usize, u64)>,
+            done: bool,
+        }
+        impl NodeAlgorithm for PortZero {
+            type Message = u64;
+            type Output = Vec<(usize, u64)>;
+            fn init(&mut self, ctx: &NodeContext) {
+                self.id = ctx.node as u64;
+            }
+            fn send(&mut self, ctx: &NodeContext) -> Outbox<u64> {
+                if ctx.degree > 0 {
+                    Outbox::PerPort(vec![(0, self.id)])
+                } else {
+                    Outbox::Silent
+                }
+            }
+            fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<u64>) {
+                self.heard = inbox.iter().map(|(p, m)| (p, *m)).collect();
+                self.done = true;
+            }
+            fn is_halted(&self) -> bool {
+                self.done
+            }
+            fn output(&self) -> Vec<(usize, u64)> {
+                self.heard.clone()
+            }
+        }
+
+        // Path 0 - 1 - 2.  Port 0 of node 0 is node 1; port 0 of node 1 is
+        // node 0; port 0 of node 2 is node 1.
+        let g = Topology::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let nodes = (0..3)
+            .map(|_| PortZero {
+                id: 0,
+                heard: vec![],
+                done: false,
+            })
+            .collect::<Vec<_>>();
+        let outcome = Simulator::new(&g).run(nodes);
+        // Node 1 hears node 0 on port 0 and node 2 on port 1.
+        assert_eq!(outcome.outputs[1], vec![(0, 0), (1, 2)]);
+        // Node 0 hears node 1 (which sent only on its port 0, towards node 0).
+        assert_eq!(outcome.outputs[0], vec![(0, 1)]);
+        // Node 2 hears nothing: node 1's port 0 points to node 0.
+        assert_eq!(outcome.outputs[2], vec![]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The immutable communication graph with port numbering.
+//!
+//! Nodes are integers `0..n`.  Each node sees its incident edges as *ports*
+//! `0..deg(v)`; the port numbering is what a LOCAL/CONGEST node actually has
+//! access to (it does **not** know which node sits behind a port unless that
+//! node tells it).  The topology additionally precomputes, for every directed
+//! edge `(u, v)`, the port at which `u` appears in `v`'s port list, so the
+//! simulator can deliver messages in `O(1)` per message.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node: a dense index in `0..n`.
+pub type NodeId = usize;
+
+/// A port of a node: an index in `0..deg(v)` identifying one incident edge.
+pub type Port = usize;
+
+/// Errors produced when constructing a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge endpoint is `>= n`.
+    NodeOutOfRange {
+        /// the offending endpoint
+        node: NodeId,
+        /// the number of nodes
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied.
+    SelfLoop(NodeId),
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl core::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for n={n}")
+            }
+            TopologyError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            TopologyError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected communication graph in compressed adjacency form.
+///
+/// # Examples
+///
+/// ```
+/// use dcme_congest::Topology;
+/// // A triangle.
+/// let g = Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.max_degree(), 2);
+/// assert_eq!(g.degree(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    /// CSR offsets: neighbours of `v` live at `adjacency[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<usize>,
+    /// Flattened neighbour lists, sorted per node.
+    adjacency: Vec<NodeId>,
+    /// For the `i`-th entry of `adjacency` (an edge `v -> u`), the port at
+    /// which `v` appears in `u`'s neighbour list.
+    reverse_port: Vec<Port>,
+    num_edges: usize,
+    max_degree: u32,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list.
+    ///
+    /// Edges may be given in either orientation; self-loops and duplicate
+    /// edges are rejected.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, TopologyError> {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(TopologyError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(TopologyError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoop(u));
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(TopologyError::DuplicateEdge(key.0, key.1));
+            }
+        }
+
+        let mut neighbour_lists: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            neighbour_lists[u].push(v);
+            neighbour_lists[v].push(u);
+        }
+        for list in &mut neighbour_lists {
+            list.sort_unstable();
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut adjacency = Vec::with_capacity(2 * edges.len());
+        for list in &neighbour_lists {
+            adjacency.extend_from_slice(list);
+            offsets.push(adjacency.len());
+        }
+
+        // reverse_port[i]: position of v within u's sorted neighbour list,
+        // where adjacency[i] = u and i belongs to node v.
+        let mut reverse_port = vec![0usize; adjacency.len()];
+        for v in 0..n {
+            for (port, &u) in neighbour_lists[v].iter().enumerate() {
+                // Find v in u's list by binary search (lists are sorted).
+                let pos = neighbour_lists[u]
+                    .binary_search(&v)
+                    .expect("undirected edge must appear in both lists");
+                reverse_port[offsets[v] + port] = pos;
+            }
+        }
+
+        let max_degree = neighbour_lists
+            .iter()
+            .map(|l| l.len() as u32)
+            .max()
+            .unwrap_or(0);
+
+        Ok(Self {
+            n,
+            offsets,
+            adjacency,
+            reverse_port,
+            num_edges: edges.len(),
+            max_degree,
+        })
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Maximum degree `Δ`.
+    #[inline]
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbours of `v`, in port order.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The neighbour of `v` behind port `p`.
+    #[inline]
+    pub fn neighbor_at(&self, v: NodeId, p: Port) -> NodeId {
+        self.neighbors(v)[p]
+    }
+
+    /// The port at which `v` appears in the port list of its neighbour behind
+    /// port `p` (i.e. the port on which that neighbour receives `v`'s
+    /// messages).
+    #[inline]
+    pub fn reverse_port(&self, v: NodeId, p: Port) -> Port {
+        self.reverse_port[self.offsets[v] + p]
+    }
+
+    /// The port of `u` in `v`'s list, if `u` and `v` are adjacent.
+    pub fn port_of(&self, v: NodeId, u: NodeId) -> Option<Port> {
+        self.neighbors(v).binary_search(&u).ok()
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.port_of(v, u).is_some()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |v| {
+            self.neighbors(v)
+                .iter()
+                .filter(move |&&u| v < u)
+                .map(move |&u| (v, u))
+        })
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n
+    }
+
+    /// The set of nodes within hop distance at most `r` of `v` (including `v`).
+    ///
+    /// Used by the ruling-set verifier and by power-graph constructions.
+    pub fn ball(&self, v: NodeId, r: usize) -> Vec<NodeId> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[v] = 0;
+        queue.push_back(v);
+        let mut out = vec![v];
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == r {
+                continue;
+            }
+            for &w in self.neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the power graph `G^p`: same vertex set, an edge between any two
+    /// distinct vertices at hop distance at most `p` in `G`.
+    ///
+    /// The paper uses `G^{α-1}` to lift (2, r)-ruling sets to (α, r)-ruling
+    /// sets in the LOCAL model.
+    pub fn power(&self, p: usize) -> Topology {
+        assert!(p >= 1, "power must be at least 1");
+        let mut edges = Vec::new();
+        for v in 0..self.n {
+            for u in self.ball(v, p) {
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        Topology::from_edges(self.n, &edges).expect("power graph edges are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        assert!(matches!(
+            Topology::from_edges(3, &[(0, 3)]),
+            Err(TopologyError::NodeOutOfRange { node: 3, n: 3 })
+        ));
+        assert!(matches!(
+            Topology::from_edges(3, &[(1, 1)]),
+            Err(TopologyError::SelfLoop(1))
+        ));
+        assert!(matches!(
+            Topology::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(TopologyError::DuplicateEdge(0, 1))
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Topology::from_edges(5, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_ports_consistent() {
+        let g = Topology::from_edges(5, &[(4, 0), (4, 2), (4, 1), (1, 0)]).unwrap();
+        assert_eq!(g.neighbors(4), &[0, 1, 2]);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        // Port consistency: the reverse of the reverse port is the original.
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let u = g.neighbor_at(v, p);
+                let rp = g.reverse_port(v, p);
+                assert_eq!(g.neighbor_at(u, rp), v);
+                assert_eq!(g.reverse_port(u, rp), p);
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = triangle();
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(1, 2));
+        assert!(!g.are_adjacent(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn ball_and_power_graph_on_path() {
+        // Path 0-1-2-3-4
+        let g = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut b = g.ball(0, 2);
+        b.sort_unstable();
+        assert_eq!(b, vec![0, 1, 2]);
+        let g2 = g.power(2);
+        assert!(g2.are_adjacent(0, 2));
+        assert!(g2.are_adjacent(0, 1));
+        assert!(!g2.are_adjacent(0, 3));
+        assert_eq!(g2.max_degree(), 4); // middle vertex reaches everything
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = triangle();
+        let g1 = g.power(1);
+        assert_eq!(g.num_edges(), g1.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g1.are_adjacent(u, v));
+        }
+    }
+}

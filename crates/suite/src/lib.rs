@@ -1,0 +1,16 @@
+//! Integration-test and example host crate.
+//!
+//! This crate exists so that the workspace-level `tests/` directory and the
+//! `examples/` directory (both at the repository root, as laid out in
+//! DESIGN.md) have a Cargo package to belong to.  It re-exports the public
+//! crates for convenience; the actual content lives in `/tests/*.rs` and
+//! `/examples/*.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use dcme_algebra as algebra;
+pub use dcme_baselines as baselines;
+pub use dcme_bench as bench;
+pub use dcme_coloring as coloring;
+pub use dcme_congest as congest;
+pub use dcme_graphs as graphs;

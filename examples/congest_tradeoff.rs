@@ -1,0 +1,42 @@
+//! The paper's headline trade-off, interactively: sweep the batch size `k`
+//! and watch rounds fall as the palette grows (Theorem 1.1 / Corollary 1.2).
+//!
+//! Run with `cargo run -p dcme-suite --example congest_tradeoff --release`.
+
+use dcme_coloring::{trial, TrialConfig};
+use dcme_congest::BandwidthReport;
+use dcme_graphs::{coloring::Coloring, generators, verify};
+
+fn main() {
+    let n = 1500;
+    let delta = 32;
+    let network = generators::random_regular(n, delta, 7);
+    let input = Coloring::from_ids(n);
+
+    println!("O(kΔ) colors in O(Δ/k) rounds on regular(n={n}, d={delta}):\n");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>12} {:>10}",
+        "k", "rounds", "round bound", "colors used", "color bound", "congest"
+    );
+
+    let mut k = 1u64;
+    loop {
+        let out = trial::run(&network, &input, TrialConfig::proper(k)).expect("trial run");
+        verify::check_proper(&network, out.coloring()).expect("proper");
+        let congest = BandwidthReport::check(n, &out.metrics, 4);
+        println!(
+            "{:>6} {:>8} {:>14} {:>14} {:>12} {:>10}",
+            k,
+            out.metrics.rounds,
+            out.params.rounds + 1,
+            out.coloring().distinct_colors(),
+            out.params.color_bound(),
+            if congest.within_congest { "ok" } else { "VIOLATION" }
+        );
+        if k >= out.params.x {
+            break;
+        }
+        k *= 2;
+    }
+    println!("\nk = 1 is the locally-iterative regime; k = X is Linial's one-round reduction.");
+}

@@ -1,0 +1,46 @@
+//! Frequency assignment in a wireless grid: the classical motivation for
+//! distributed coloring.  Radio towers on a torus grid must pick frequencies
+//! so that no two neighbouring towers share one; a defective coloring with a
+//! small defect is acceptable for low-power secondary channels.
+//!
+//! Run with `cargo run -p dcme-suite --example frequency_scheduling`.
+
+use dcme_coloring::{corollary, pipeline};
+use dcme_graphs::{generators, verify};
+
+fn main() {
+    // A 30x30 torus of radio towers (Δ = 4).
+    let grid = generators::grid(30, 30, true);
+    println!(
+        "tower grid: {} towers, Δ = {}",
+        grid.num_nodes(),
+        grid.max_degree()
+    );
+
+    // Primary channels: a strict (Δ+1)-coloring — 5 frequencies suffice.
+    let primary = pipeline::delta_plus_one(&grid).expect("primary assignment");
+    verify::check_proper(&grid, &primary.coloring).expect("no interference allowed");
+    println!(
+        "primary channels: {} frequencies in {} synchronous rounds",
+        primary.coloring.distinct_colors(),
+        primary.total_rounds()
+    );
+
+    // Secondary channels: tolerate at most 1 interfering neighbour and get a
+    // one-round assignment (Corollary 1.2(5) with d = 1).
+    let ids = dcme_graphs::coloring::Coloring::from_ids(grid.num_nodes());
+    let secondary = corollary::defective_one_round(&grid, &ids, 1).expect("secondary assignment");
+    verify::check_defective(&grid, secondary.coloring(), 1).expect("defect bound");
+    println!(
+        "secondary channels: {} frequencies, defect <= 1, {} round(s)",
+        secondary.coloring().distinct_colors(),
+        secondary.metrics.rounds
+    );
+
+    // Per-frequency load: how many towers share each primary frequency.
+    let classes = primary.coloring.color_classes();
+    println!("\nprimary frequency load:");
+    for (freq, towers) in classes {
+        println!("  frequency {freq}: {} towers", towers.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! Cluster-head election with (2, r)-ruling sets (Theorem 1.5): every sensor
+//! is within r hops of an elected cluster head and no two heads are adjacent.
+//!
+//! Run with `cargo run -p dcme-suite --example ruling_set_clustering --release`.
+
+use dcme_coloring::ruling;
+use dcme_graphs::{generators, verify};
+
+fn main() {
+    // A sensor network: 800 nodes, heavy-tailed degree distribution.
+    let network = generators::barabasi_albert(800, 4, 9);
+    println!(
+        "sensor network: n = {}, Δ = {}",
+        network.num_nodes(),
+        network.max_degree()
+    );
+
+    for r in [2usize, 3, 4] {
+        let improved = ruling::ruling_set(&network, r).expect("Theorem 1.5 ruling set");
+        verify::check_ruling_set(&network, &improved.in_set, r).expect("radius");
+        let baseline = ruling::ruling_set_baseline(&network, r).expect("baseline ruling set");
+        println!(
+            "(2,{r})-ruling set: {} heads, sweep rounds {} (baseline {}), total rounds {} (baseline {})",
+            improved.set_size,
+            improved.rounds,
+            baseline.rounds,
+            improved.total_rounds(),
+            baseline.total_rounds(),
+        );
+    }
+
+    println!("\nsmaller r ⇒ more cluster heads but shorter control latency;");
+    println!("Theorem 1.5 needs O(Δ^(2/(r+2))) + log* n rounds vs O(Δ^(2/r)) for the baseline.");
+}

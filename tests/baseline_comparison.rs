@@ -1,0 +1,95 @@
+//! Integration tests comparing the paper's algorithms against the baselines:
+//! the "who wins, by roughly what factor" claims of the experiment tables.
+
+use dcme_baselines as baselines;
+use dcme_coloring::pipeline;
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators, verify};
+
+#[test]
+fn all_algorithms_agree_on_the_color_count_and_are_proper() {
+    let g = generators::random_regular(400, 12, 17);
+    let ids = Coloring::from_ids(400);
+    let delta_plus_one = g.max_degree() as u64 + 1;
+
+    let paper = pipeline::delta_plus_one(&g).unwrap();
+    let kw = baselines::kuhn_wattenhofer(&g, &ids).unwrap();
+    let (li, _) = baselines::locally_iterative_reduction(&g, &ids, ExecutionMode::Sequential);
+    let luby = baselines::luby_coloring(&g, 3, ExecutionMode::Sequential);
+    let greedy = baselines::greedy_coloring(&g, None);
+
+    for (name, coloring) in [
+        ("paper", &paper.coloring),
+        ("kuhn-wattenhofer", &kw.coloring),
+        ("locally-iterative", &li),
+        ("randomized", &luby.coloring),
+        ("greedy", &greedy),
+    ] {
+        verify::check_proper(&g, coloring).unwrap_or_else(|v| panic!("{name}: {v}"));
+        assert!(
+            coloring.distinct_colors() as u64 <= delta_plus_one,
+            "{name} used too many colors"
+        );
+    }
+}
+
+#[test]
+fn paper_pipeline_beats_the_kw_baseline_in_rounds() {
+    // The paper: O(Δ) + log* n rounds.  KW halving: O(Δ log(n/Δ)) rounds.
+    // The gap must be visible once log(n/Δ) is a real factor.
+    let g = generators::random_regular(1200, 8, 19);
+    let ids = Coloring::from_ids(1200);
+    let paper = pipeline::delta_plus_one(&g).unwrap();
+    let kw = baselines::kuhn_wattenhofer(&g, &ids).unwrap();
+    assert!(
+        paper.total_rounds() < kw.rounds,
+        "paper {} rounds vs KW {} rounds",
+        paper.total_rounds(),
+        kw.rounds
+    );
+}
+
+#[test]
+fn paper_pipeline_beats_the_locally_iterative_folklore_on_adversarial_orderings() {
+    // A path with monotone identifiers forces the folklore local-maximum rule
+    // into Ω(n) rounds while the paper's pipeline stays O(Δ) + log* n.
+    let n = 400;
+    let g = generators::path(n);
+    let ids = Coloring::from_ids(n);
+    let paper = pipeline::delta_plus_one(&g).unwrap();
+    let (_, li_metrics) =
+        baselines::locally_iterative_reduction(&g, &ids, ExecutionMode::Sequential);
+    assert!(
+        paper.total_rounds() * 4 < li_metrics.rounds,
+        "paper {} rounds vs locally-iterative {} rounds",
+        paper.total_rounds(),
+        li_metrics.rounds
+    );
+}
+
+#[test]
+fn randomized_baseline_is_fast_but_not_deterministic() {
+    let g = generators::random_regular(600, 10, 23);
+    let a = baselines::luby_coloring(&g, 1, ExecutionMode::Sequential);
+    let b = baselines::luby_coloring(&g, 2, ExecutionMode::Sequential);
+    // Different seeds give different colorings (overwhelmingly likely), while
+    // each individually is proper.
+    verify::check_proper(&g, &a.coloring).unwrap();
+    verify::check_proper(&g, &b.coloring).unwrap();
+    assert_ne!(a.coloring, b.coloring);
+    // Both should finish in O(log n) rounds.
+    assert!(a.metrics.rounds <= 60);
+}
+
+#[test]
+fn greedy_color_count_is_the_reference_lower_envelope() {
+    for seed in 0..3 {
+        let g = generators::gnp(300, 0.05, seed);
+        let greedy = baselines::greedy_coloring(&g, Some(&baselines::greedy::smallest_last_order(&g)));
+        let paper = pipeline::delta_plus_one(&g).unwrap();
+        verify::check_proper(&g, &greedy).unwrap();
+        // The distributed algorithm promises Δ+1; the sequential greedy with a
+        // degeneracy order can only use fewer or equally many colors.
+        assert!(greedy.distinct_colors() <= paper.coloring.palette() as usize);
+    }
+}

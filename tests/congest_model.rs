@@ -1,0 +1,89 @@
+//! Integration tests for the CONGEST model guarantees: message sizes,
+//! executor equivalence, and round accounting across algorithms.
+
+use dcme_coloring::{corollary, pipeline, reduction, trial, TrialConfig};
+use dcme_congest::{BandwidthReport, ExecutionMode};
+use dcme_graphs::{coloring::Coloring, generators};
+
+#[test]
+fn every_main_algorithm_respects_the_congest_bandwidth_bound() {
+    let n = 1024;
+    let g = generators::random_regular(n, 16, 7);
+    let ids = Coloring::from_ids(n);
+
+    let metrics = vec![
+        trial::run(&g, &ids, TrialConfig::proper(1)).unwrap().metrics,
+        trial::run(&g, &ids, TrialConfig::proper(64)).unwrap().metrics,
+        trial::run(&g, &ids, TrialConfig::defective(4, 1)).unwrap().metrics,
+        corollary::linial_color_reduction(&g, &ids).unwrap().metrics,
+        pipeline::delta_plus_one(&g).unwrap().metrics,
+    ];
+    for (i, m) in metrics.iter().enumerate() {
+        let report = BandwidthReport::check(n, m, 4);
+        assert!(report.within_congest, "algorithm {i}: {report}");
+    }
+}
+
+#[test]
+fn one_round_algorithms_really_use_one_round() {
+    let n = 512;
+    let g = generators::random_regular(n, 8, 3);
+    let ids = Coloring::from_ids(n);
+
+    // Linial's reduction: one batch + the announce round.
+    let lin = corollary::linial_color_reduction(&g, &ids).unwrap();
+    assert!(lin.metrics.rounds <= 2);
+
+    // Lemma 4.1: exactly one round.
+    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+    let red = reduction::one_round_reduction(&g, &seed, ExecutionMode::Sequential).unwrap();
+    assert_eq!(red.metrics.rounds, 1);
+
+    // Corollary 1.2(5): one batch + announce.
+    let def = corollary::defective_one_round(&g, &ids, 2).unwrap();
+    assert!(def.metrics.rounds <= 2);
+}
+
+#[test]
+fn round_bound_of_theorem_1_1_holds_across_k_and_d() {
+    let g = generators::gnp(400, 0.05, 11);
+    let ids = Coloring::from_ids(400);
+    for k in [1u64, 3, 17, 200] {
+        for d in [0u32, 1, 3] {
+            let out = trial::run(&g, &ids, TrialConfig { d, k, mode: ExecutionMode::Sequential })
+                .unwrap();
+            assert!(
+                out.metrics.rounds <= out.params.rounds + 1,
+                "k={k} d={d}: rounds {} exceed bound {}",
+                out.metrics.rounds,
+                out.params.rounds + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_executor_is_deterministic_across_thread_counts() {
+    let g = generators::barabasi_albert(400, 3, 5);
+    let ids = Coloring::from_ids(400);
+    let reference = trial::run(&g, &ids, TrialConfig::proper(4)).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let par = trial::run(&g, &ids, TrialConfig::proper(4).parallel(threads)).unwrap();
+        assert_eq!(par.result, reference.result, "threads = {threads}");
+        assert_eq!(par.metrics.rounds, reference.metrics.rounds);
+        assert_eq!(par.metrics.messages, reference.metrics.messages);
+    }
+}
+
+#[test]
+fn message_volume_scales_with_edges_times_rounds() {
+    let g = generators::random_regular(300, 10, 13);
+    let ids = Coloring::from_ids(300);
+    let out = trial::run(&g, &ids, TrialConfig::proper(1)).unwrap();
+    // Every active node broadcasts once per round over each incident edge, so
+    // the message count is at most 2 |E| rounds.
+    let upper = 2 * g.num_edges() as u64 * out.metrics.rounds;
+    assert!(out.metrics.messages <= upper);
+    assert!(out.metrics.messages > 0);
+    assert!(out.metrics.mean_message_bits() > 0.0);
+}

@@ -1,0 +1,104 @@
+//! Integration tests for every Corollary 1.2 setting plus Theorem 1.3 and the
+//! chopping observation, on workloads larger than the unit tests use.
+
+use dcme_coloring::{chopping, corollary, fast, linial};
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators, verify};
+
+fn workload(n: usize, d: usize, seed: u64) -> (dcme_congest::Topology, Coloring) {
+    let g = generators::random_regular(n, d, seed);
+    let ids = Coloring::from_ids(n);
+    (g, ids)
+}
+
+#[test]
+fn corollary_settings_meet_their_bounds_on_larger_graphs() {
+    let (g, ids) = workload(800, 24, 1);
+    let delta = g.max_degree() as u64;
+
+    // (1) One-round Linial reduction.
+    let lin = corollary::linial_color_reduction(&g, &ids).unwrap();
+    verify::check_proper(&g, lin.coloring()).unwrap();
+    assert!(lin.metrics.rounds <= 2);
+    assert!(lin.params.encoded_colors() <= 256 * delta * delta);
+
+    // (2) The k trade-off: measured rounds never exceed the theoretical bound
+    // ⌈q/k⌉ + 1, and the bound itself shrinks inversely in k.
+    let mut last_bound = u64::MAX;
+    for k in [1u64, 8, 64, 512] {
+        let out = corollary::kdelta_coloring(&g, &ids, k).unwrap();
+        verify::check_proper(&g, out.coloring()).unwrap();
+        assert!(out.metrics.rounds <= out.params.rounds + 1);
+        assert!(out.params.rounds <= last_bound);
+        last_bound = out.params.rounds;
+    }
+
+    // (4) β-outdegree coloring.
+    let beta = 5u32;
+    let out = corollary::outdegree_coloring(&g, &ids, beta).unwrap();
+    verify::check_outdegree_orientation(&g, &out.result.oriented, beta as usize).unwrap();
+    verify::check_partition_degree(&g, &out.result, beta as usize).unwrap();
+
+    // (5) and (6) defective colorings.
+    let d = 6u32;
+    let one = corollary::defective_one_round(&g, &ids, d).unwrap();
+    verify::check_defective(&g, one.coloring(), d as usize).unwrap();
+    assert!(one.metrics.rounds <= 2);
+    let (pair, _) = corollary::defective_multi_round(&g, &ids, d).unwrap();
+    verify::check_defective(&g, &pair, d as usize).unwrap();
+}
+
+#[test]
+fn theorem_1_3_round_scaling_beats_the_linear_worst_case_bound() {
+    // With ε = 0.5 the defective phase is O(Δ^ε) and the class phase O(√d);
+    // the measured total must land well below the Θ(Δ)-round *worst-case
+    // bound* of the linear k = 1 algorithm.  (On random inputs the linear
+    // algorithm terminates adaptively much earlier than its bound — that
+    // early termination is itself reported in EXPERIMENTS.md — so the
+    // guarantee-level comparison is against the bound.)
+    let (g, ids) = workload(700, 48, 3);
+    let m = (g.max_degree() as u64).pow(4).max(700);
+    let input = Coloring::from_identifiers(&(0..700u64).collect::<Vec<_>>(), m);
+
+    let fast_out = fast::fast_coloring(&g, &input, 0.5, ExecutionMode::Sequential).unwrap();
+    verify::check_proper(&g, &fast_out.coloring).unwrap();
+
+    let linear = corollary::kdelta_coloring(&g, &ids, 1).unwrap();
+    assert!(
+        fast_out.total_rounds() < linear.params.rounds,
+        "Theorem 1.3 ({}) should beat the linear worst-case bound ({}) at Δ = {}",
+        fast_out.total_rounds(),
+        linear.params.rounds,
+        g.max_degree()
+    );
+    // And the palette stays O(Δ^{1+ε}).
+    let delta = g.max_degree() as f64;
+    assert!(
+        (fast_out.coloring.distinct_colors() as f64) <= 16.0 * delta.powf(1.6),
+        "palette {} too large",
+        fast_out.coloring.distinct_colors()
+    );
+}
+
+#[test]
+fn linial_iterations_stay_logstar_small_as_n_grows() {
+    let mut last_iterations = 0;
+    for n in [1 << 8, 1 << 11, 1 << 14] {
+        let g = generators::ring(n);
+        let out = linial::delta_squared_from_ids(&g, None).unwrap();
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert!(out.iterations <= 6);
+        last_iterations = last_iterations.max(out.iterations);
+    }
+    assert!(last_iterations >= 1);
+}
+
+#[test]
+fn chopping_overhead_matches_observation_5_1() {
+    let (g, ids) = workload(500, 10, 5);
+    let out = chopping::reduce_by_chopping(&g, &ids, 1.0, &chopping::default_reducer).unwrap();
+    verify::check_proper(&g, &out.coloring).unwrap();
+    assert_eq!(out.coloring.palette(), g.max_degree() as u64 + 1);
+    let expected = chopping::expected_iterations(500, g.max_degree(), 1.0);
+    assert!(out.iterations <= expected + 2);
+}

@@ -1,0 +1,99 @@
+//! End-to-end integration tests: identifiers → (Δ+1)-coloring on a spread of
+//! graph families, exercising every crate of the workspace together.
+
+use dcme_coloring::pipeline;
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{generators, verify, GraphFamily, GraphStats};
+
+fn families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::Ring { n: 128 },
+        GraphFamily::Complete { n: 12 },
+        GraphFamily::CompleteBipartite { a: 10, b: 14 },
+        GraphFamily::Grid { w: 10, h: 10, wrap: true },
+        GraphFamily::Caterpillar { spine: 12, legs: 4 },
+        GraphFamily::RandomRegular { n: 300, d: 12, seed: 3 },
+        GraphFamily::Gnp { n: 200, p: 0.05, seed: 4 },
+        GraphFamily::RandomTree { n: 200, seed: 5 },
+        GraphFamily::BarabasiAlbert { n: 200, m: 3, seed: 6 },
+        GraphFamily::DisjointCliques { count: 6, size: 7 },
+    ]
+}
+
+#[test]
+fn simple_pipeline_colors_every_family_with_delta_plus_one() {
+    for family in families() {
+        let g = family.build();
+        let result = pipeline::delta_plus_one(&g)
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        verify::check_proper(&g, &result.coloring)
+            .unwrap_or_else(|v| panic!("{}: {v}", family.name()));
+        assert!(
+            result.coloring.palette() <= g.max_degree() as u64 + 1,
+            "{}: palette {} exceeds Δ+1",
+            family.name(),
+            result.coloring.palette()
+        );
+        // The round count is dominated by the O(Δ) phases plus log* n.
+        let delta = g.max_degree() as u64;
+        assert!(
+            result.total_rounds() <= 40 * (delta + 1) + 64,
+            "{}: {} rounds is far beyond the O(Δ) + log* n shape",
+            family.name(),
+            result.total_rounds()
+        );
+    }
+}
+
+#[test]
+fn scheduled_pipeline_agrees_on_palette_bound() {
+    for family in [
+        GraphFamily::RandomRegular { n: 250, d: 16, seed: 9 },
+        GraphFamily::Grid { w: 12, h: 12, wrap: false },
+        GraphFamily::Gnp { n: 150, p: 0.08, seed: 10 },
+    ] {
+        let g = family.build();
+        let result = pipeline::delta_plus_one_scheduled(&g, None, ExecutionMode::Sequential)
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        verify::check_proper(&g, &result.coloring).unwrap();
+        assert!(result.coloring.palette() <= g.max_degree() as u64 + 1);
+    }
+}
+
+#[test]
+fn complete_graph_needs_every_color() {
+    let g = generators::complete(16);
+    let result = pipeline::delta_plus_one(&g).unwrap();
+    assert_eq!(result.coloring.distinct_colors(), 16);
+}
+
+#[test]
+fn pipeline_round_counts_scale_linearly_in_delta_not_n() {
+    // Fix Δ and grow n: the total rounds must stay essentially flat
+    // (log* n changes by at most 1 in this range).
+    let small = pipeline::delta_plus_one(&generators::random_regular(200, 8, 1)).unwrap();
+    let large = pipeline::delta_plus_one(&generators::random_regular(1600, 8, 1)).unwrap();
+    let stats = GraphStats::compute(&generators::random_regular(1600, 8, 1));
+    assert_eq!(stats.max_degree, 8);
+    assert!(
+        large.total_rounds() <= small.total_rounds() + 24,
+        "rounds grew with n: {} -> {}",
+        small.total_rounds(),
+        large.total_rounds()
+    );
+
+    // Fix n and grow Δ: the rounds must grow.
+    let low_delta = pipeline::delta_plus_one(&generators::random_regular(600, 8, 2)).unwrap();
+    let high_delta = pipeline::delta_plus_one(&generators::random_regular(600, 48, 2)).unwrap();
+    assert!(high_delta.total_rounds() > low_delta.total_rounds());
+}
+
+#[test]
+fn parallel_and_sequential_executors_agree_end_to_end() {
+    let g = generators::gnp(300, 0.04, 77);
+    let seq = pipeline::delta_plus_one_with_mode(&g, ExecutionMode::Sequential).unwrap();
+    let par =
+        pipeline::delta_plus_one_with_mode(&g, ExecutionMode::Parallel { threads: 4 }).unwrap();
+    assert_eq!(seq.coloring, par.coloring);
+    assert_eq!(seq.total_rounds(), par.total_rounds());
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: the paper's invariants must hold for
+//! arbitrary random workloads and parameters, not just the hand-picked ones.
+
+use proptest::prelude::*;
+
+use dcme_algebra::sequence::{SequenceFamily, SequenceParams};
+use dcme_coloring::{corollary, reduction, trial, TrialConfig};
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators, verify};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.1 on random G(n, p): proper output, round bound, palette
+    /// bound, and CONGEST feasibility — for arbitrary k.
+    #[test]
+    fn trial_coloring_invariants(
+        n in 20usize..120,
+        p in 0.02f64..0.25,
+        seed in 0u64..1000,
+        k in 1u64..64,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let ids = Coloring::from_ids(n);
+        let out = trial::run(&g, &ids, TrialConfig::proper(k)).unwrap();
+        prop_assert!(verify::check_proper(&g, out.coloring()).is_ok());
+        prop_assert!(verify::check_palette(out.coloring(), out.params.color_bound()).is_ok());
+        prop_assert!(out.metrics.rounds <= out.params.rounds + 1);
+        let report = dcme_congest::BandwidthReport::check(n, &out.metrics, 6);
+        prop_assert!(report.within_congest);
+    }
+
+    /// The defective variant: defect ≤ d for the one-round setting and a
+    /// valid orientation + partition for k = 1 (Theorem 1.1 (1) and (2)).
+    #[test]
+    fn defective_and_outdegree_invariants(
+        n in 30usize..100,
+        d_frac in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        let g = generators::random_regular(n, 12, seed);
+        let ids = Coloring::from_ids(n);
+        let delta = g.max_degree();
+        prop_assume!(delta >= 4);
+        let d = (delta / (d_frac + 1)).max(1);
+
+        let one = corollary::defective_one_round(&g, &ids, d).unwrap();
+        prop_assert!(verify::check_defective(&g, one.coloring(), d as usize).is_ok());
+
+        let out = corollary::outdegree_coloring(&g, &ids, d).unwrap();
+        prop_assert!(verify::check_outdegree_orientation(&g, &out.result.oriented, d as usize).is_ok());
+        prop_assert!(verify::check_partition_degree(&g, &out.result, d as usize).is_ok());
+    }
+
+    /// Trial sequences: distinct input colors never collide in more than f
+    /// positions (the combinatorial heart of the round bound).
+    #[test]
+    fn sequence_collision_invariant(
+        delta in 2u32..24,
+        d in 0u32..4,
+        a in 0u64..2000,
+        b in 0u64..2000,
+    ) {
+        prop_assume!(d < delta);
+        let m = 2048u64;
+        prop_assume!(a < m && b < m && a != b);
+        let params = SequenceParams::derive(delta, m, d, 1).unwrap();
+        let fam = SequenceFamily::new(params);
+        prop_assert!(fam.collision_count(a, b) <= params.f as usize);
+    }
+
+    /// The one-round reduction of Lemma 4.1 always produces a proper coloring
+    /// with exactly `max_reducible` fewer palette entries.
+    #[test]
+    fn one_round_reduction_invariant(
+        n in 40usize..120,
+        d in 4usize..10,
+        seed in 0u64..300,
+        extra in 2u64..40,
+    ) {
+        let g = generators::random_regular(n, d, seed);
+        let delta = g.max_degree();
+        prop_assume!(delta >= 2);
+        let m = delta as u64 + 1 + extra;
+        prop_assume!(m <= n as u64);
+        // Build a proper m-coloring by greedy + spreading the ids.
+        let base = dcme_coloring::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+        let input = if base.palette() > m {
+            dcme_coloring::elimination::reduce_to_target(&g, &base, m, ExecutionMode::Sequential)
+                .unwrap().0
+        } else {
+            base.with_palette(m)
+        };
+        let k = reduction::max_reducible(m, delta);
+        let out = reduction::one_round_reduction(&g, &input, ExecutionMode::Sequential).unwrap();
+        prop_assert!(verify::check_proper(&g, &out.coloring).is_ok());
+        prop_assert_eq!(out.removed, k);
+        prop_assert_eq!(out.coloring.palette(), m - k);
+    }
+
+    /// Theorem 1.6 threshold sanity: the required-input-colors formula is
+    /// monotone in k up to its cap and max_reducible inverts it.
+    #[test]
+    fn threshold_consistency(delta in 2u32..64, m in 3u64..4096) {
+        let k = reduction::max_reducible(m, delta);
+        if k > 0 {
+            prop_assert!(m >= reduction::required_input_colors(k, delta));
+        }
+        if k + 1 <= (delta as u64).saturating_sub(1).min((delta as u64 + 3) / 2) {
+            prop_assert!(m < reduction::required_input_colors(k + 1, delta));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for ruling sets (Theorem 1.5 / Lemma 3.2) and the
+//! one-round color-reduction characterization (Theorem 1.6), plus the
+//! experiment harness smoke test.
+
+use dcme_bench::experiments::{self, Scale};
+use dcme_coloring::{reduction, ruling};
+use dcme_congest::ExecutionMode;
+use dcme_graphs::{coloring::Coloring, generators, verify};
+
+#[test]
+fn ruling_sets_hold_their_radius_on_diverse_graphs() {
+    for (g, name) in [
+        (generators::random_regular(400, 16, 3), "regular"),
+        (generators::barabasi_albert(300, 3, 5), "ba"),
+        (generators::grid(20, 20, true), "torus"),
+    ] {
+        for r in [2usize, 3] {
+            let out = ruling::ruling_set(&g, r).unwrap_or_else(|e| panic!("{name} r={r}: {e}"));
+            verify::check_ruling_set(&g, &out.in_set, r)
+                .unwrap_or_else(|v| panic!("{name} r={r}: {v}"));
+            assert!(out.set_size > 0);
+        }
+    }
+}
+
+#[test]
+fn improved_ruling_set_sweeps_use_fewer_rounds_than_baseline_for_r_2() {
+    let g = generators::random_regular(600, 32, 7);
+    let improved = ruling::ruling_set(&g, 2).unwrap();
+    let baseline = ruling::ruling_set_baseline(&g, 2).unwrap();
+    assert!(
+        improved.rounds <= baseline.rounds,
+        "improved sweep {} vs baseline sweep {}",
+        improved.rounds,
+        baseline.rounds
+    );
+}
+
+#[test]
+fn lemma_3_2_radius_tracks_the_block_parameter() {
+    let g = generators::random_regular(300, 10, 11);
+    let coloring = Coloring::from_ids(300);
+    for r in [2usize, 3, 4, 5] {
+        let b = ruling::block_parameter(coloring.palette(), r);
+        let out = ruling::ruling_set_from_coloring(&g, &coloring, b).unwrap();
+        assert!(out.radius <= r, "r={r}: radius {}", out.radius);
+        verify::check_ruling_set(&g, &out.in_set, out.radius).unwrap();
+        // Rounds are at most B per level plus the final cleanup sweep.
+        assert!(out.rounds <= b * r as u64 + 1);
+    }
+}
+
+#[test]
+fn theorem_1_6_tightness_for_tiny_parameters() {
+    // Δ = 2: the threshold says 4 input colors are needed to drop one color.
+    assert_eq!(reduction::max_reducible(3, 2), 0);
+    assert_eq!(reduction::max_reducible(4, 2), 1);
+    let (achievable, impossible) = reduction::lower_bound(2, 4, 3_000_000);
+    assert_eq!(achievable, Some(true));
+    assert_eq!(impossible, Some(true));
+
+    // Δ = 2, m = 5: still k = 1 (k = 2 would need 6 colors).
+    assert_eq!(reduction::max_reducible(5, 2), 1);
+    let exists_4 = reduction::one_round_algorithm_exists(2, 5, 4, 3_000_000);
+    let exists_3 = reduction::one_round_algorithm_exists(2, 5, 3, 3_000_000);
+    assert_eq!(exists_4, Some(true));
+    assert_eq!(exists_3, Some(false));
+}
+
+#[test]
+fn iterated_one_round_reduction_is_slower_than_corollary_1_2_3() {
+    // The heuristic-lower-bound discussion: iterating the optimal 1-round
+    // algorithm needs Ω(Δ)-ish rounds to shrink a Θ(Δ²) palette, while
+    // Corollary 1.2(3) does an equivalent reduction in O(1) rounds.
+    let g = generators::random_regular(400, 16, 13);
+    let delta = g.max_degree() as u64;
+    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+    let start = dcme_coloring::elimination::reduce_to_target(
+        &g,
+        &seed,
+        delta * delta / 2,
+        ExecutionMode::Sequential,
+    )
+    .unwrap()
+    .0;
+    let (reduced, rounds) =
+        reduction::iterate_to_delta_plus_one(&g, &start, ExecutionMode::Sequential).unwrap();
+    verify::check_proper(&g, &reduced).unwrap();
+    assert_eq!(reduced.palette(), delta + 1);
+    assert!(
+        rounds as u64 >= delta / 2,
+        "iterated 1-round reductions took only {rounds} rounds for Δ = {delta}"
+    );
+}
+
+#[test]
+fn experiment_harness_produces_consistent_tables() {
+    let t = experiments::e2_linial_step(Scale::Quick);
+    assert!(!t.rows.is_empty());
+    assert!(t.to_markdown().contains("Linial"));
+    assert_eq!(t.to_csv().lines().count(), t.rows.len() + 1);
+
+    let t = experiments::e9_one_round(Scale::Quick);
+    assert!(t.rows.iter().any(|r| r[0].contains("exhaustive")));
+}
