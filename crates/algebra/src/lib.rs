@@ -3,7 +3,7 @@
 //! The paper's mother algorithm (Theorem 1.1) needs, for every input color
 //! `i ∈ [m]`, a sequence of color *trials* such that any two distinct
 //! sequences collide in few positions.  The construction is the classical
-//! one from Linial's paper [Lin92] built on polynomials over a finite field:
+//! one from Linial's paper \[Lin92\] built on polynomials over a finite field:
 //! two distinct polynomials of degree at most `f` over `F_q` agree on at most
 //! `f` points (Lemma 2.1 of the paper), so the sequences
 //! `s_i(x) = (x mod k, p_i(x) mod q)` for `x = 0, …, q-1` intersect in at most

@@ -192,7 +192,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for index in 0..125u64 {
             let p = Polynomial::from_lex_index(f, deg, index);
-            assert!(seen.insert(p.coefficients().to_vec()), "duplicate at {index}");
+            assert!(
+                seen.insert(p.coefficients().to_vec()),
+                "duplicate at {index}"
+            );
         }
     }
 

@@ -90,7 +90,11 @@ impl core::fmt::Display for ParamError {
             ParamError::EmptyPalette => write!(fmt, "input palette size m must be >= 1"),
             ParamError::ZeroBatch => write!(fmt, "batch size k must be >= 1"),
             ParamError::DefectTooLarge { d, delta } => {
-                write!(fmt, "defect d={d} must be <= Δ-1={}", delta.saturating_sub(1))
+                write!(
+                    fmt,
+                    "defect d={d} must be <= Δ-1={}",
+                    delta.saturating_sub(1)
+                )
             }
             ParamError::FieldTooSmall { q, f, m } => write!(
                 fmt,
@@ -423,7 +427,12 @@ mod tests {
                 let p = SequenceParams::derive_one_shot(delta, m).unwrap();
                 assert!(primes::is_prime(p.q));
                 // The single-round blocked-trials bound: q > f·Δ.
-                assert!(p.q > p.f * delta as u64, "delta={delta} m={m}: q={} f={}", p.q, p.f);
+                assert!(
+                    p.q > p.f * delta as u64,
+                    "delta={delta} m={m}: q={} f={}",
+                    p.q,
+                    p.f
+                );
                 // One distinct polynomial per input color.
                 assert!((p.q as u128).pow((p.f + 1) as u32) >= m as u128);
                 assert_eq!(p.rounds, 1);

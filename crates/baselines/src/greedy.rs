@@ -23,7 +23,8 @@ pub fn greedy_coloring(topology: &Topology, order: Option<&[usize]>) -> Coloring
         colors[v] = Some(c);
     }
     let colors: Vec<u64> = colors.into_iter().map(|c| c.unwrap()).collect();
-    let palette = (topology.max_degree() as u64 + 1).max(colors.iter().copied().max().unwrap_or(0) + 1);
+    let palette =
+        (topology.max_degree() as u64 + 1).max(colors.iter().copied().max().unwrap_or(0) + 1);
     Coloring::new(colors, palette)
 }
 

@@ -28,10 +28,7 @@ pub struct KwOutcome {
 }
 
 /// Reduces a proper coloring to `Δ+1` colors by iterated block halving.
-pub fn kuhn_wattenhofer(
-    topology: &Topology,
-    input: &Coloring,
-) -> Result<KwOutcome, ColoringError> {
+pub fn kuhn_wattenhofer(topology: &Topology, input: &Coloring) -> Result<KwOutcome, ColoringError> {
     verify::check_proper(topology, input).map_err(ColoringError::ImproperInput)?;
     let delta = topology.max_degree() as u64;
     let target = delta + 1;
@@ -58,7 +55,10 @@ pub fn kuhn_wattenhofer(
             }
             let sub = InducedSubgraph::extract(topology, &members);
             let sub_input = Coloring::new(
-                sub.original.iter().map(|&v| current.color(v) - lo).collect(),
+                sub.original
+                    .iter()
+                    .map(|&v| current.color(v) - lo)
+                    .collect(),
                 hi - lo,
             );
             let (reduced, metrics) = elimination::reduce_to_target(
@@ -116,7 +116,11 @@ mod tests {
         verify::check_proper(&g, &out.coloring).unwrap();
         assert_eq!(out.coloring.palette(), g.max_degree() as u64 + 1);
         // iterations ≈ log2(m / Δ).
-        assert!(out.iterations >= 3 && out.iterations <= 8, "{}", out.iterations);
+        assert!(
+            out.iterations >= 3 && out.iterations <= 8,
+            "{}",
+            out.iterations
+        );
     }
 
     #[test]

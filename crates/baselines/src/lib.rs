@@ -5,9 +5,9 @@
 //! * [`locally_iterative`] — the folklore locally-iterative reduction that
 //!   maintains a proper coloring each round and lets local color maxima
 //!   recolor into `[Δ+1]`; the self-stabilising style of algorithm that
-//!   [BEG18] accelerates and that the paper's `k = 1` setting generalises.
+//!   \[BEG18\] accelerates and that the paper's `k = 1` setting generalises.
 //! * [`kuhn_wattenhofer`] — the classical iterated color-space halving
-//!   [KW06]-style reduction (`O(Δ log(m/Δ))` rounds), built from per-block
+//!   \[KW06\]-style reduction (`O(Δ log(m/Δ))` rounds), built from per-block
 //!   class elimination.
 //! * [`luby`] — the randomized trial baseline: every uncolored node samples a
 //!   random free color from `[Δ+1]` and keeps it if no neighbour picked the

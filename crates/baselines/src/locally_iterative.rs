@@ -6,9 +6,9 @@
 //! neighbourhood.  The coloring stays proper after every round (only local
 //! maxima move, and they move below all recoloring thresholds of their
 //! neighbours), which is the defining feature of locally-iterative algorithms
-//! in the sense of [BEG18].  The number of rounds is bounded by the number of
+//! in the sense of \[BEG18\].  The number of rounds is bounded by the number of
 //! distinct colors above `Δ`, i.e. `O(m)` — the pre-BEG18 state of affairs
-//! that both [BEG18] and the paper's `k = 1` algorithm improve to `O(Δ)`.
+//! that both \[BEG18\] and the paper's `k = 1` algorithm improve to `O(Δ)`.
 
 use dcme_algebra::logstar::bits_for;
 use dcme_congest::{
@@ -123,14 +123,20 @@ mod tests {
         let input = Coloring::from_identifiers(&ids, n as u64);
         let (out, metrics) = locally_iterative_reduction(&g, &input, ExecutionMode::Sequential);
         verify::check_proper(&g, &out).unwrap();
-        assert!(metrics.rounds as usize >= n / 2, "rounds {}", metrics.rounds);
+        assert!(
+            metrics.rounds as usize >= n / 2,
+            "rounds {}",
+            metrics.rounds
+        );
     }
 
     #[test]
     fn already_small_coloring_converges_quickly() {
         let g = generators::ring(30);
         let c = Coloring::new(
-            (0..30).map(|v| (v % 2) as u64 + if v == 29 { 2 } else { 0 }).collect(),
+            (0..30)
+                .map(|v| (v % 2) as u64 + if v == 29 { 2 } else { 0 })
+                .collect(),
             4,
         );
         let (out, metrics) = locally_iterative_reduction(&g, &c, ExecutionMode::Sequential);

@@ -120,7 +120,10 @@ pub fn luby_coloring(topology: &Topology, seed: u64, mode: ExecutionMode) -> Lub
     let palette = topology.max_degree() as u64 + 1;
     let nodes: Vec<LubyNode> = (0..n)
         .map(|v| LubyNode {
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v as u64)),
+            rng: StdRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(v as u64),
+            ),
             palette,
             blocked: std::collections::HashSet::new(),
             proposal: None,

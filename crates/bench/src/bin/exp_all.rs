@@ -1,7 +1,7 @@
 //! Runs every experiment (E1-E12) and prints all tables; used to regenerate
 //! the measured numbers in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_all [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_all [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e12_bandwidth table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e12_bandwidth [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e12_bandwidth [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

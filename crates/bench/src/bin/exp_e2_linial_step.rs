@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e2_linial_step table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e2_linial_step [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e2_linial_step [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

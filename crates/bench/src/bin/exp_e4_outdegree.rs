@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e4_outdegree table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e4_outdegree [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e4_outdegree [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

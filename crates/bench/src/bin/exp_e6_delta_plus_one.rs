@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e6_delta_plus_one table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e6_delta_plus_one [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e6_delta_plus_one [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

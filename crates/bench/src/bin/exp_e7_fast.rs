@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e7_fast table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e7_fast [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e7_fast [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

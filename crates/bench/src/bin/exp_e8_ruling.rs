@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e8_ruling table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e8_ruling [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e8_ruling [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

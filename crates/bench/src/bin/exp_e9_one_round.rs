@@ -1,6 +1,6 @@
 //! Experiment binary: prints the e9_one_round table (see DESIGN.md / EXPERIMENTS.md).
 //!
-//! Usage: `cargo run -p dcme-bench --release --bin exp_e9_one_round [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_e9_one_round [-- --full]`
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();

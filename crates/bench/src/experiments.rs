@@ -43,7 +43,15 @@ fn ids(n: usize) -> Coloring {
 pub fn e1_tradeoff(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1: O(kΔ) colors in O(Δ/k) rounds (Theorem 1.1 / Corollary 1.2(2))",
-        &["graph", "Δ", "k", "rounds", "bound ⌈q/k⌉+1", "colors used", "color bound kX"],
+        &[
+            "graph",
+            "Δ",
+            "k",
+            "rounds",
+            "bound ⌈q/k⌉+1",
+            "colors used",
+            "color bound kX",
+        ],
     );
     let n = scale.pick(300, 2000);
     for delta in [16usize, 32] {
@@ -126,7 +134,15 @@ pub fn e3_delta_squared(scale: Scale) -> Table {
 pub fn e4_outdegree(scale: Scale) -> Table {
     let mut t = Table::new(
         "E4: β-outdegree O(Δ/β) coloring in O(Δ/β) rounds (Corollary 1.2(4))",
-        &["graph", "Δ", "β", "rounds", "max outdegree", "colors", "color bound"],
+        &[
+            "graph",
+            "Δ",
+            "β",
+            "rounds",
+            "max outdegree",
+            "colors",
+            "color bound",
+        ],
     );
     let n = scale.pick(300, 2000);
     let delta = 32usize;
@@ -153,7 +169,16 @@ pub fn e4_outdegree(scale: Scale) -> Table {
 pub fn e5_defective(scale: Scale) -> Table {
     let mut t = Table::new(
         "E5: d-defective O((Δ/d)²) colorings (Corollary 1.2(5) one round, (6) multi round)",
-        &["graph", "Δ", "d", "variant", "rounds", "max defect", "colors", "(Δ/d)²"],
+        &[
+            "graph",
+            "Δ",
+            "d",
+            "variant",
+            "rounds",
+            "max defect",
+            "colors",
+            "(Δ/d)²",
+        ],
     );
     let n = scale.pick(300, 2000);
     let delta = 32usize;
@@ -212,7 +237,9 @@ pub fn e6_delta_plus_one(scale: Scale) -> Table {
             "paper: linial + k=1 trial + elimination".into(),
             simple.total_rounds().to_string(),
             simple.coloring.distinct_colors().to_string(),
-            verify::check_proper(g, &simple.coloring).is_ok().to_string(),
+            verify::check_proper(g, &simple.coloring)
+                .is_ok()
+                .to_string(),
         ]);
 
         let sched = pipeline::delta_plus_one_scheduled(g, None, ExecutionMode::Sequential)
@@ -275,7 +302,15 @@ pub fn e6_delta_plus_one(scale: Scale) -> Table {
 pub fn e7_fast(scale: Scale) -> Table {
     let mut t = Table::new(
         "E7: O(Δ^{1+ε}) colors in O(Δ^{1/2-ε/2}) rounds (Theorem 1.3) vs the linear trade-off",
-        &["graph", "Δ", "ε", "rounds (Thm 1.3)", "colors (Thm 1.3)", "rounds (Cor 1.2(2))", "colors (Cor 1.2(2))"],
+        &[
+            "graph",
+            "Δ",
+            "ε",
+            "rounds (Thm 1.3)",
+            "colors (Thm 1.3)",
+            "rounds (Cor 1.2(2))",
+            "colors (Cor 1.2(2))",
+        ],
     );
     let n = scale.pick(300, 1200);
     for delta in [16usize, 32, 64] {
@@ -309,7 +344,16 @@ pub fn e7_fast(scale: Scale) -> Table {
 pub fn e8_ruling(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8: (2,r)-ruling sets — Theorem 1.5 vs the O(Δ^{2/r}) baseline",
-        &["graph", "Δ", "r", "algorithm", "sweep rounds", "total rounds", "set size", "radius ok"],
+        &[
+            "graph",
+            "Δ",
+            "r",
+            "algorithm",
+            "sweep rounds",
+            "total rounds",
+            "set size",
+            "radius ok",
+        ],
     );
     let n = scale.pick(300, 1200);
     for delta in [16usize, 32] {
@@ -357,11 +401,18 @@ pub fn e9_one_round(scale: Scale) -> Table {
         let d = g.max_degree();
         for k in [1u64, 2, 3, 4] {
             let m = reduction::required_input_colors(k, d);
-            let base = linial::delta_squared_from_ids(&g, None).expect("E9 seed").coloring;
+            let base = linial::delta_squared_from_ids(&g, None)
+                .expect("E9 seed")
+                .coloring;
             let input = if base.palette() > m {
-                dcme_coloring::elimination::reduce_to_target(&g, &base, m, ExecutionMode::Sequential)
-                    .expect("E9 shrink")
-                    .0
+                dcme_coloring::elimination::reduce_to_target(
+                    &g,
+                    &base,
+                    m,
+                    ExecutionMode::Sequential,
+                )
+                .expect("E9 shrink")
+                .0
             } else {
                 base.with_palette(m)
             };
@@ -408,7 +459,16 @@ pub fn e9_one_round(scale: Scale) -> Table {
 pub fn e10_chopping(scale: Scale) -> Table {
     let mut t = Table::new(
         "E10: color-space chopping overhead (Observation 5.1)",
-        &["graph", "Δ", "ε", "m (input)", "iterations", "expected ⌈log_{1+ε}(m/(Δ+1))⌉", "parallel rounds", "final colors"],
+        &[
+            "graph",
+            "Δ",
+            "ε",
+            "m (input)",
+            "iterations",
+            "expected ⌈log_{1+ε}(m/(Δ+1))⌉",
+            "parallel rounds",
+            "final colors",
+        ],
     );
     let n = scale.pick(300, 1200);
     let g = generators::random_regular(n, 12, 37);
@@ -435,7 +495,16 @@ pub fn e10_chopping(scale: Scale) -> Table {
 pub fn e11_logstar(scale: Scale) -> Table {
     let mut t = Table::new(
         "E11: O(Δ²) colors in O(log* n) rounds from IDs (Linial)",
-        &["graph", "Δ", "n", "log* n", "iterations", "total rounds", "final colors", "256·Δ²"],
+        &[
+            "graph",
+            "Δ",
+            "n",
+            "log* n",
+            "iterations",
+            "total rounds",
+            "final colors",
+            "256·Δ²",
+        ],
     );
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![1 << 8, 1 << 10, 1 << 12],
@@ -468,7 +537,14 @@ pub fn e11_logstar(scale: Scale) -> Table {
 pub fn e12_bandwidth(scale: Scale) -> Table {
     let mut t = Table::new(
         "E12: CONGEST feasibility — maximum message size vs c·log2(n)",
-        &["algorithm", "n", "Δ", "max message bits", "allowed (4·log2 n)", "within CONGEST"],
+        &[
+            "algorithm",
+            "n",
+            "Δ",
+            "max message bits",
+            "allowed (4·log2 n)",
+            "within CONGEST",
+        ],
     );
     let n = scale.pick(400, 4000);
     let g = generators::random_regular(n, 16, 43);
@@ -477,25 +553,28 @@ pub fn e12_bandwidth(scale: Scale) -> Table {
     let runs: Vec<(&str, dcme_congest::RunMetrics)> = vec![
         (
             "trial k=1 (Cor 1.2(2))",
-            trial::run(&g, &input, TrialConfig::proper(1)).expect("E12").metrics,
+            trial::run(&g, &input, TrialConfig::proper(1))
+                .expect("E12")
+                .metrics,
         ),
         (
             "Linial one-shot (Cor 1.2(1))",
-            corollary::linial_color_reduction(&g, &input).expect("E12").metrics,
+            corollary::linial_color_reduction(&g, &input)
+                .expect("E12")
+                .metrics,
         ),
         (
             "(Δ+1) pipeline",
             pipeline::delta_plus_one(&g).expect("E12").metrics,
         ),
-        (
-            "one-round reduction (Lemma 4.1)",
-            {
-                let seed = linial::delta_squared_from_ids(&g, None).expect("E12").coloring;
-                reduction::one_round_reduction(&g, &seed, ExecutionMode::Sequential)
-                    .expect("E12")
-                    .metrics
-            },
-        ),
+        ("one-round reduction (Lemma 4.1)", {
+            let seed = linial::delta_squared_from_ids(&g, None)
+                .expect("E12")
+                .coloring;
+            reduction::one_round_reduction(&g, &seed, ExecutionMode::Sequential)
+                .expect("E12")
+                .metrics
+        }),
     ];
     for (name, metrics) in runs {
         let report = BandwidthReport::check(n, &metrics, 4);

@@ -125,7 +125,10 @@ pub fn reduce_by_chopping(
             }
             let sub = InducedSubgraph::extract(topology, &members);
             let sub_input = Coloring::new(
-                sub.original.iter().map(|&v| current.color(v) - lo).collect(),
+                sub.original
+                    .iter()
+                    .map(|&v| current.color(v) - lo)
+                    .collect(),
                 hi - lo,
             );
             let (reduced, rounds) = reducer(&sub.topology, &sub_input, target)?;
@@ -142,7 +145,9 @@ pub fn reduce_by_chopping(
         palette_trace.push(current.palette());
 
         if iterations > 128 {
-            return Err(ColoringError::DidNotTerminate { round_cap: iterations });
+            return Err(ColoringError::DidNotTerminate {
+                round_cap: iterations,
+            });
         }
         // Progress guarantee: one block left means the next iteration maps
         // straight to the target palette and the loop exits.

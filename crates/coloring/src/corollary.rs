@@ -43,7 +43,12 @@ pub fn linial_color_reduction(
     input: &Coloring,
 ) -> Result<TrialOutcome, ColoringError> {
     let params = SequenceParams::derive_one_shot(topology.max_degree(), input.palette())?;
-    trial::run_with_params(topology, input, params, dcme_congest::ExecutionMode::Sequential)
+    trial::run_with_params(
+        topology,
+        input,
+        params,
+        dcme_congest::ExecutionMode::Sequential,
+    )
 }
 
 /// Corollary 1.2 (2): a proper `O(kΔ)`-coloring in `O(Δ/k)` rounds.

@@ -57,8 +57,7 @@ impl NodeAlgorithm for EliminationNode {
         // Round t eliminates color class `target + t`.
         let eliminated = self.target + ctx.round;
         if self.color == eliminated {
-            let used: std::collections::HashSet<u64> =
-                inbox.iter().map(|(_, m)| m.0).collect();
+            let used: std::collections::HashSet<u64> = inbox.iter().map(|(_, m)| m.0).collect();
             let free = (0..self.target)
                 .find(|c| !used.contains(c))
                 .expect("a node has at most Δ neighbours, so [Δ+1] has a free color");
@@ -209,12 +208,9 @@ mod tests {
         let g = generators::gnp(60, 0.1, 4);
         let input = Coloring::from_ids(60);
         let (a, _) = delta_plus_one_by_elimination(&g, &input, ExecutionMode::Sequential).unwrap();
-        let (b, _) = delta_plus_one_by_elimination(
-            &g,
-            &input,
-            ExecutionMode::Parallel { threads: 4 },
-        )
-        .unwrap();
+        let (b, _) =
+            delta_plus_one_by_elimination(&g, &input, ExecutionMode::Parallel { threads: 4 })
+                .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -68,11 +68,16 @@ mod tests {
     fn display_variants() {
         let e: ColoringError = ParamError::ZeroBatch.into();
         assert!(format!("{e}").contains("Theorem 1.1"));
-        let e = ColoringError::InputSizeMismatch { nodes: 3, colors: 2 };
+        let e = ColoringError::InputSizeMismatch {
+            nodes: 3,
+            colors: 2,
+        };
         assert!(format!("{e}").contains("3 nodes"));
         let e = ColoringError::DidNotTerminate { round_cap: 9 };
         assert!(format!("{e}").contains("9"));
-        let e = ColoringError::InvalidParameter { reason: "k too large".into() };
+        let e = ColoringError::InvalidParameter {
+            reason: "k too large".into(),
+        };
         assert!(format!("{e}").contains("k too large"));
     }
 }

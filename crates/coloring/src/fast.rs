@@ -150,10 +150,7 @@ mod tests {
         // identifiers but declare a poly-Δ palette when that is larger.
         let n = g.num_nodes() as u64;
         let delta = g.max_degree() as u64;
-        Coloring::from_identifiers(
-            &(0..n).collect::<Vec<_>>(),
-            n.max(delta.pow(4)),
-        )
+        Coloring::from_identifiers(&(0..n).collect::<Vec<_>>(), n.max(delta.pow(4)))
     }
 
     #[test]
@@ -209,7 +206,11 @@ mod tests {
 
     #[test]
     fn works_on_small_and_degenerate_graphs() {
-        for g in [generators::ring(12), generators::star(5), generators::path(6)] {
+        for g in [
+            generators::ring(12),
+            generators::star(5),
+            generators::path(6),
+        ] {
             let input = Coloring::from_ids(g.num_nodes());
             let out = fast_coloring(&g, &input, 0.5, ExecutionMode::Sequential).unwrap();
             verify::check_proper(&g, &out.coloring).unwrap();

@@ -84,7 +84,9 @@ pub fn reduce_iteratively(
         // Defensive cap: the palette shrinks at least geometrically above the
         // fixed point, so log* n + a few iterations always suffice.
         if iterations > 64 {
-            return Err(ColoringError::DidNotTerminate { round_cap: iterations });
+            return Err(ColoringError::DidNotTerminate {
+                round_cap: iterations,
+            });
         }
     }
     metrics.rounds = total_rounds;

@@ -11,7 +11,7 @@
 //! the routine always terminates; with the low-outdegree schedules of the
 //! paper the classes it is applied to are small and it converges quickly.
 //!
-//! This replaces the 2-round "Linial for lists" step of [MT20] — the paper
+//! This replaces the 2-round "Linial for lists" step of \[MT20\] — the paper
 //! under reproduction only *uses* that step as a black box; the substitution
 //! (documented in DESIGN.md) preserves the schedule structure and
 //! correctness, at the cost of a weaker worst-case round bound for the inner
@@ -68,7 +68,10 @@ struct ListNode {
 
 impl ListNode {
     fn available(&self) -> Option<u64> {
-        self.list.iter().copied().find(|c| !self.blocked.contains(c))
+        self.list
+            .iter()
+            .copied()
+            .find(|c| !self.blocked.contains(c))
     }
 }
 
@@ -184,7 +187,10 @@ pub fn list_coloring(
     for (u, v) in topology.edges() {
         if priorities[u] == priorities[v] {
             return Err(ColoringError::InvalidParameter {
-                reason: format!("adjacent nodes {u} and {v} share priority {}", priorities[u]),
+                reason: format!(
+                    "adjacent nodes {u} and {v} share priority {}",
+                    priorities[u]
+                ),
             });
         }
     }
@@ -313,7 +319,10 @@ mod tests {
 
     #[test]
     fn message_sizes() {
-        let m = ListMessage::Propose { color: 3, priority: 7 };
+        let m = ListMessage::Propose {
+            color: 3,
+            priority: 7,
+        };
         assert_eq!(m.bit_size(), 1 + 2 + 3);
         let m = ListMessage::Finalized { color: 0 };
         assert_eq!(m.bit_size(), 2);

@@ -302,9 +302,9 @@ pub fn conflict_graph(delta: u32, m: u64) -> (Vec<View>, Vec<Vec<usize>>) {
             if subset.len() == delta as usize {
                 continue;
             }
-            for idx in start..others.len() {
+            for (idx, &other) in others.iter().enumerate().skip(start) {
                 let mut next = subset.clone();
-                next.push(others[idx]);
+                next.push(other);
                 stack.push((idx + 1, next));
             }
         }
@@ -360,10 +360,8 @@ pub fn one_round_algorithm_exists(delta: u32, m: u64, q: u64, step_budget: u64) 
             return None;
         }
         let v = order[pos];
-        let forbidden: std::collections::HashSet<u64> = adj[v]
-            .iter()
-            .filter_map(|&u| assignment[u])
-            .collect();
+        let forbidden: std::collections::HashSet<u64> =
+            adj[v].iter().filter_map(|&u| assignment[u]).collect();
         // Symmetry breaking: only try colors up to (max used so far) + 1.
         let max_used = assignment.iter().flatten().copied().max();
         let cap = match max_used {
@@ -442,7 +440,9 @@ mod tests {
         let m = required_input_colors(3, delta);
         let input = {
             // A proper coloring with m colors: start from ids and fold.
-            let base = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+            let base = crate::linial::delta_squared_from_ids(&g, None)
+                .unwrap()
+                .coloring;
             // Ensure palette >= m by padding, or reduce to exactly m with the
             // elimination routine if it is larger.
             if base.palette() > m {
@@ -473,15 +473,13 @@ mod tests {
     fn iterated_reduction_reaches_delta_plus_one_on_small_palettes() {
         let g = generators::random_regular(100, 6, 2);
         let delta = g.max_degree() as u64;
-        let start = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
-        let small = crate::elimination::reduce_to_target(
-            &g,
-            &start,
-            3 * delta,
-            ExecutionMode::Sequential,
-        )
-        .unwrap()
-        .0;
+        let start = crate::linial::delta_squared_from_ids(&g, None)
+            .unwrap()
+            .coloring;
+        let small =
+            crate::elimination::reduce_to_target(&g, &start, 3 * delta, ExecutionMode::Sequential)
+                .unwrap()
+                .0;
         let (final_coloring, rounds) =
             iterate_to_delta_plus_one(&g, &small, ExecutionMode::Sequential).unwrap();
         verify::check_proper(&g, &final_coloring).unwrap();
@@ -527,7 +525,9 @@ mod tests {
     #[test]
     fn reduction_bandwidth_is_congest() {
         let g = generators::random_regular(128, 8, 1);
-        let start = crate::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+        let start = crate::linial::delta_squared_from_ids(&g, None)
+            .unwrap()
+            .coloring;
         let out = one_round_reduction(&g, &start, ExecutionMode::Sequential).unwrap();
         let report = dcme_congest::BandwidthReport::check(128, &out.metrics, 4);
         assert!(report.within_congest, "{report}");

@@ -1,7 +1,7 @@
 //! Ruling sets: Lemma 3.2 and Theorem 1.5.
 //!
 //! A `(2, r)`-ruling set is an independent set `S` such that every vertex has
-//! a member of `S` within hop distance `r`.  Lemma 3.2 ([KMW18]) turns any
+//! a member of `S` within hop distance `r`.  Lemma 3.2 (\[KMW18\]) turns any
 //! `C`-coloring into a `(2, ⌈log_B C⌉)`-ruling set in `O(B log_B C)` rounds;
 //! Theorem 1.5 balances the cost of *computing* the coloring (via
 //! Theorem 1.3) against the cost of *using* it, obtaining
@@ -170,10 +170,7 @@ pub fn ruling_set(topology: &Topology, r: usize) -> Result<RulingSetOutcome, Col
     out.coloring_rounds = seed_rounds;
     if out.radius > r {
         return Err(ColoringError::PostconditionFailed(
-            dcme_graphs::verify::Violation::NotDominated {
-                node: 0,
-                radius: r,
-            },
+            dcme_graphs::verify::Violation::NotDominated { node: 0, radius: r },
         ));
     }
     Ok(out)

@@ -168,8 +168,10 @@ mod tests {
     fn larger_beta_means_fewer_classes() {
         let g = generators::random_regular(200, 16, 5);
         let input = Coloring::from_ids(200);
-        let small = scheduled_delta_plus_one(&g, &input, Some(1), ExecutionMode::Sequential).unwrap();
-        let large = scheduled_delta_plus_one(&g, &input, Some(8), ExecutionMode::Sequential).unwrap();
+        let small =
+            scheduled_delta_plus_one(&g, &input, Some(1), ExecutionMode::Sequential).unwrap();
+        let large =
+            scheduled_delta_plus_one(&g, &input, Some(8), ExecutionMode::Sequential).unwrap();
         assert!(large.num_classes <= small.num_classes);
         assert!(large.schedule_rounds <= small.schedule_rounds);
     }
@@ -185,7 +187,11 @@ mod tests {
 
     #[test]
     fn works_on_low_degree_graphs() {
-        for g in [generators::ring(20), generators::path(20), generators::star(6)] {
+        for g in [
+            generators::ring(20),
+            generators::path(20),
+            generators::star(6),
+        ] {
             let input = Coloring::from_ids(g.num_nodes());
             let out =
                 scheduled_delta_plus_one(&g, &input, None, ExecutionMode::Sequential).unwrap();

@@ -204,7 +204,8 @@ impl NodeAlgorithm for TrialNode {
         // Record neighbours that announced a permanent color this round.
         for (port, msg) in inbox.iter() {
             if let TrialMessage::Adopted { color } = msg {
-                self.colored_neighbors.insert(port, Trial::decode(*color, q));
+                self.colored_neighbors
+                    .insert(port, Trial::decode(*color, q));
             }
         }
 
@@ -321,12 +322,8 @@ pub fn run(
     input: &Coloring,
     config: TrialConfig,
 ) -> Result<TrialOutcome, ColoringError> {
-    let params = SequenceParams::derive(
-        topology.max_degree(),
-        input.palette(),
-        config.d,
-        config.k,
-    )?;
+    let params =
+        SequenceParams::derive(topology.max_degree(), input.palette(), config.d, config.k)?;
     run_with_params(topology, input, params, config.mode)
 }
 
@@ -491,12 +488,7 @@ mod tests {
         check_partition_degree(&g, &out.result, d as usize).unwrap();
         // One-round variant (k = X) has a single part, so the coloring itself
         // is d-defective.
-        let one_round = run(
-            &g,
-            &input,
-            TrialConfig::defective(d, out.params.x),
-        )
-        .unwrap();
+        let one_round = run(&g, &input, TrialConfig::defective(d, out.params.x)).unwrap();
         assert!(one_round.metrics.rounds <= 2);
         check_defective(&g, one_round.coloring(), d as usize).unwrap();
     }

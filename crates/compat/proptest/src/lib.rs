@@ -1,0 +1,298 @@
+//! Local stub of `proptest` (see `crates/compat/README.md`).
+//!
+//! Supports the subset of the proptest surface the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] block macro with an optional
+//!   `#![proptest_config(...)]` inner attribute,
+//! * range strategies (`0u64..100`, `0.0f64..1.0`) and
+//!   [`sample::select`],
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`.
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case is
+//! reported with its generated arguments, which — because generation is
+//! deterministic per test name — is reproducible by just re-running the
+//! test.  Cases rejected by `prop_assume!` do not count toward the
+//! configured case budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// The generator type threaded through all strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    use rand::RngCore;
+
+    /// Uniform choice from a fixed list; see [`crate::sample::select`].
+    pub struct Select<T>(pub(crate) Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select() needs a non-empty list");
+            self.0[rng.random_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit collections.
+
+    use super::strategy::Select;
+
+    /// Strategy yielding a uniformly chosen element of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+pub mod test_runner {
+    //! The (much simplified) case runner driven by [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration (stub of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default (256) is overkill for simulator-backed
+            // properties; tests that want more ask via with_cases().
+            Self { cases: 64 }
+        }
+    }
+
+    /// Outcome of one generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` and is not counted.
+        Reject(String),
+        /// An assertion failed; the runner panics with this message.
+        Fail(String),
+    }
+
+    /// Deterministic per-test generator so failures reproduce on re-run.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` path exposed by the prelude (`prop::sample::select`, …).
+
+    pub use super::sample;
+    pub use super::strategy;
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring `proptest::prelude`.
+
+    pub use super::prop;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares a block of property tests; see the crate docs for the supported
+/// subset of the real macro's grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(100);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest stub: {} of {} attempted cases were rejected by \
+                     prop_assume!; weaken the assumption or widen the strategy",
+                    attempts - accepted,
+                    attempts,
+                );
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut rng);)+
+                let case = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match case {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed after {} cases: {}\n  args: {}",
+                            stringify!($name),
+                            accepted,
+                            msg,
+                            format!(concat!($(stringify!($arg), " = {:?}  ",)+), $(&$arg,)+),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{:?} != {:?} ({} vs {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "{:?} == {:?} ({} vs {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_assume_work(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(a < 100 && b < 100);
+        }
+
+        #[test]
+        fn select_picks_members(q in prop::sample::select(vec![2u64, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&q));
+        }
+
+        #[test]
+        fn floats_stay_in_range(p in 0.25f64..0.75) {
+            prop_assert!((0.25..0.75).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failures_panic_with_args() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x is small");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,33 @@
+//! Local stub of the `serde` facade (see `crates/compat/README.md`).
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, API-compatible subset of the `serde` surface actually used by
+//! the `dcme_*` crates: the `Serialize` / `Deserialize` traits as *markers*
+//! and the corresponding derive macros.  No serialization format ships with
+//! the workspace yet, so marker impls are all that is required; swapping this
+//! stub for the real `serde` is a one-line change in the root `Cargo.toml`
+//! once a registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// The real `serde::Serialize` has a `serialize` method; the stub keeps only
+/// the trait bound so `#[derive(Serialize)]` and generic `T: Serialize`
+/// bounds compile unchanged.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from a borrowed buffer.
+///
+/// Mirrors the lifetime parameter of the real `serde::Deserialize<'de>` so
+/// derived impls and bounds keep their exact shape.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable from any lifetime (stub of
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

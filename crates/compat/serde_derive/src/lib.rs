@@ -1,0 +1,58 @@
+//! Local stub of `serde_derive` (see `crates/compat/README.md`).
+//!
+//! The stub `serde` crate's `Serialize` / `Deserialize` traits are pure
+//! markers, so the derives only need to name the type and emit empty impls.
+//! The macros are written against `proc_macro` directly (no `syn` / `quote`,
+//! which are equally unreachable without a registry).  Generic types are not
+//! supported — every serde-derived type in this workspace is concrete — and
+//! produce a `compile_error!` pointing here.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum/union a derive was applied to and
+/// whether it has a generic parameter list.
+fn parse_item(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return Err("stub serde_derive: expected a type name".into());
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.next() {
+            if p.as_char() == '<' {
+                return Err("stub serde_derive does not support generic types; \
+                     write the marker impl by hand (crates/compat/serde_derive)"
+                    .into());
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("stub serde_derive: no struct/enum/union found".into())
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    match parse_item(input) {
+        Ok(name) => template.replace("$Name", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the stub marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for $Name {}")
+}
+
+/// Derives the stub marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for $Name {}")
+}

@@ -71,8 +71,7 @@ pub enum Outbox<M> {
 impl<M> Outbox<M> {
     /// True if nothing is sent.
     pub fn is_silent(&self) -> bool {
-        matches!(self, Outbox::Silent)
-            || matches!(self, Outbox::PerPort(v) if v.is_empty())
+        matches!(self, Outbox::Silent) || matches!(self, Outbox::PerPort(v) if v.is_empty())
     }
 }
 

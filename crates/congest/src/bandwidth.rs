@@ -53,7 +53,11 @@ impl core::fmt::Display for BandwidthReport {
             self.allowed_bits,
             self.constant,
             self.n,
-            if self.within_congest { "OK" } else { "VIOLATION" }
+            if self.within_congest {
+                "OK"
+            } else {
+                "VIOLATION"
+            }
         )
     }
 }

@@ -20,7 +20,7 @@
 //! * [`algorithm::NodeAlgorithm`] — the per-node state machine interface
 //!   (init / send / receive / output),
 //! * [`simulator::Simulator`] — the synchronous round engine, with a
-//!   sequential and a [crossbeam]-parallel executor that produce identical
+//!   sequential and a scoped-thread parallel executor that produce identical
 //!   results,
 //! * [`metrics::RunMetrics`] and [`bandwidth`] — round, message and bit
 //!   accounting so experiments can check the CONGEST `O(log n)`-bit bound.

@@ -6,8 +6,9 @@
 //! executors are available:
 //!
 //! * **Sequential** — the reference implementation; trivially deterministic.
-//! * **Parallel** — nodes are partitioned across [crossbeam] scoped threads
-//!   for the send and receive phases.  Because a round's sends depend only on
+//! * **Parallel** — nodes are partitioned across [`std::thread::scope`]
+//!   scoped threads for the send and receive phases.  Because a round's
+//!   sends depend only on
 //!   state from the previous round and receives only touch node-local state,
 //!   the result is bit-for-bit identical to the sequential executor (this is
 //!   asserted by tests and integration tests).
@@ -21,21 +22,16 @@ use crate::metrics::RunMetrics;
 use crate::topology::Topology;
 
 /// How rounds are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
     /// Process nodes one after another on the calling thread.
+    #[default]
     Sequential,
     /// Process nodes in parallel using the given number of worker threads.
     Parallel {
         /// Number of worker threads (at least 1).
         threads: usize,
     },
-}
-
-impl Default for ExecutionMode {
-    fn default() -> Self {
-        ExecutionMode::Sequential
-    }
 }
 
 /// Configuration of a simulator run.
@@ -232,13 +228,13 @@ fn parallel_send<A: NodeAlgorithm>(
     let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
     let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
 
-    let results: Vec<Vec<Outbox<A::Message>>> = crossbeam::scope(|scope| {
+    let results: Vec<Vec<Outbox<A::Message>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = node_chunks
             .into_iter()
             .zip(ctx_chunks)
             .zip(active_chunks)
             .map(|((nodes_chunk, ctx_chunk), active_chunk)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     nodes_chunk
                         .iter_mut()
                         .zip(ctx_chunk)
@@ -254,9 +250,11 @@ fn parallel_send<A: NodeAlgorithm>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("send-phase worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("send-phase worker panicked"))
+            .collect()
+    });
 
     for chunk_result in results {
         out.extend(chunk_result);
@@ -264,12 +262,15 @@ fn parallel_send<A: NodeAlgorithm>(
     out
 }
 
+/// Undelivered per-node messages, as (port, payload) pairs.
+type PendingInbox<M> = Vec<(usize, M)>;
+
 /// Parallel receive phase.
 fn parallel_receive<A: NodeAlgorithm>(
     nodes: &mut [A],
     contexts: &[NodeContext],
     active: &[bool],
-    mut inboxes: Vec<Vec<(usize, A::Message)>>,
+    mut inboxes: Vec<PendingInbox<A::Message>>,
     threads: usize,
 ) {
     let threads = threads.max(1);
@@ -279,16 +280,16 @@ fn parallel_receive<A: NodeAlgorithm>(
     let node_chunks: Vec<&mut [A]> = nodes.chunks_mut(chunk).collect();
     let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
     let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
-    let inbox_chunks: Vec<&mut [Vec<(usize, A::Message)>]> = inboxes.chunks_mut(chunk).collect();
+    let inbox_chunks: Vec<&mut [PendingInbox<A::Message>]> = inboxes.chunks_mut(chunk).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (((nodes_chunk, ctx_chunk), active_chunk), inbox_chunk) in node_chunks
             .into_iter()
             .zip(ctx_chunks)
             .zip(active_chunks)
             .zip(inbox_chunks)
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (((node, ctx), &is_active), inbox) in nodes_chunk
                     .iter_mut()
                     .zip(ctx_chunk)
@@ -302,8 +303,7 @@ fn parallel_receive<A: NodeAlgorithm>(
                 }
             });
         }
-    })
-    .expect("receive-phase worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -374,10 +374,11 @@ mod tests {
         // Each round every node broadcasts to 2 neighbours: 6 messages/round.
         assert_eq!(outcome.metrics.messages, 12);
         assert!(!outcome.metrics.hit_round_cap);
-        // Node 0 hears 1 and 2 each round: (1+2)*2 = 6.
+        // Node v hears both neighbours each of the 2 rounds: node 0 hears
+        // ids 1 and 2, node 1 hears 0 and 2, node 2 hears 0 and 1.
         assert_eq!(outcome.outputs[0], 6);
-        assert_eq!(outcome.outputs[1], (0 + 2) * 2);
-        assert_eq!(outcome.outputs[2], (0 + 1) * 2);
+        assert_eq!(outcome.outputs[1], 4);
+        assert_eq!(outcome.outputs[2], 2);
         assert_eq!(outcome.metrics.active_per_round, vec![3, 3]);
     }
 

@@ -115,7 +115,8 @@ impl Coloring {
     /// Groups nodes by color: returns, for each distinct color in ascending
     /// order, the list of nodes having it.
     pub fn color_classes(&self) -> Vec<(u64, Vec<NodeId>)> {
-        let mut map: std::collections::BTreeMap<u64, Vec<NodeId>> = std::collections::BTreeMap::new();
+        let mut map: std::collections::BTreeMap<u64, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
         for (v, &c) in self.colors.iter().enumerate() {
             map.entry(c).or_default().push(v);
         }
@@ -139,7 +140,11 @@ pub struct OrientedColoring {
 impl OrientedColoring {
     /// The maximum outdegree over all nodes (the β of a β-outdegree coloring).
     pub fn max_outdegree(&self) -> usize {
-        self.out_neighbors.iter().map(|o| o.len()).max().unwrap_or(0)
+        self.out_neighbors
+            .iter()
+            .map(|o| o.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Collects all oriented (monochromatic) edges as `(from, to)` pairs.

@@ -29,7 +29,11 @@ impl GraphStats {
         let degrees: Vec<usize> = (0..n).map(|v| topology.degree(v)).collect();
         let max_degree = degrees.iter().copied().max().unwrap_or(0) as u32;
         let min_degree = degrees.iter().copied().min().unwrap_or(0) as u32;
-        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         Self {
             n,
             m,

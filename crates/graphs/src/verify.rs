@@ -226,8 +226,14 @@ pub fn check_outdegree_orientation(
         if coloring.color(u) != coloring.color(v) {
             continue;
         }
-        let forward = oriented.out_neighbors[u].iter().filter(|&&w| w == v).count();
-        let backward = oriented.out_neighbors[v].iter().filter(|&&w| w == u).count();
+        let forward = oriented.out_neighbors[u]
+            .iter()
+            .filter(|&&w| w == v)
+            .count();
+        let backward = oriented.out_neighbors[v]
+            .iter()
+            .filter(|&&w| w == u)
+            .count();
         if forward + backward != 1 {
             return Err(Violation::BadOrientation {
                 u,
@@ -302,8 +308,8 @@ pub fn check_ruling_set(topology: &Topology, set: &[bool], r: usize) -> Result<(
             }
         }
     }
-    for v in 0..n {
-        if dist[v] > r {
+    for (v, &d) in dist.iter().enumerate() {
+        if d > r {
             return Err(Violation::NotDominated { node: v, radius: r });
         }
     }
@@ -331,7 +337,10 @@ pub fn check_list_coloring(
 
 /// Computes the maximum defect of a coloring (0 for proper colorings).
 pub fn max_defect(topology: &Topology, coloring: &Coloring) -> usize {
-    defect_vector(topology, coloring).into_iter().max().unwrap_or(0)
+    defect_vector(topology, coloring)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -351,7 +360,11 @@ mod tests {
         let bad = Coloring::new(vec![0, 0, 1, 0], 2);
         assert_eq!(
             check_proper(&g, &bad),
-            Err(Violation::MonochromaticEdge { u: 0, v: 1, color: 0 })
+            Err(Violation::MonochromaticEdge {
+                u: 0,
+                v: 1,
+                color: 0
+            })
         );
     }
 
@@ -363,7 +376,11 @@ mod tests {
         assert!(check_defective(&g, &c, 4).is_ok());
         assert!(matches!(
             check_defective(&g, &c, 3),
-            Err(Violation::DefectExceeded { node: 0, defect: 4, allowed: 3 })
+            Err(Violation::DefectExceeded {
+                node: 0,
+                defect: 4,
+                allowed: 3
+            })
         ));
         assert_eq!(max_defect(&g, &c), 4);
     }
@@ -396,7 +413,11 @@ mod tests {
         };
         assert!(matches!(
             check_outdegree_orientation(&g, &missing, 2),
-            Err(Violation::BadOrientation { u: 1, v: 2, times_oriented: 0 })
+            Err(Violation::BadOrientation {
+                u: 1,
+                v: 2,
+                times_oriented: 0
+            })
         ));
         // Orientation of a non-monochromatic edge is spurious.
         let spurious = OrientedColoring {
@@ -466,7 +487,11 @@ mod tests {
 
     #[test]
     fn violation_display_is_informative() {
-        let v = Violation::MonochromaticEdge { u: 1, v: 2, color: 7 };
+        let v = Violation::MonochromaticEdge {
+            u: 1,
+            v: 2,
+            color: 7,
+        };
         assert!(format!("{v}").contains("monochromatic"));
         let v = Violation::NotDominated { node: 3, radius: 2 };
         assert!(format!("{v}").contains("distance 2"));

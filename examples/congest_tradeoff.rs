@@ -31,7 +31,11 @@ fn main() {
             out.params.rounds + 1,
             out.coloring().distinct_colors(),
             out.params.color_bound(),
-            if congest.within_congest { "ok" } else { "VIOLATION" }
+            if congest.within_congest {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         if k >= out.params.x {
             break;

@@ -85,7 +85,8 @@ fn randomized_baseline_is_fast_but_not_deterministic() {
 fn greedy_color_count_is_the_reference_lower_envelope() {
     for seed in 0..3 {
         let g = generators::gnp(300, 0.05, seed);
-        let greedy = baselines::greedy_coloring(&g, Some(&baselines::greedy::smallest_last_order(&g)));
+        let greedy =
+            baselines::greedy_coloring(&g, Some(&baselines::greedy::smallest_last_order(&g)));
         let paper = pipeline::delta_plus_one(&g).unwrap();
         verify::check_proper(&g, &greedy).unwrap();
         // The distributed algorithm promises Δ+1; the sequential greedy with a

@@ -11,10 +11,16 @@ fn every_main_algorithm_respects_the_congest_bandwidth_bound() {
     let g = generators::random_regular(n, 16, 7);
     let ids = Coloring::from_ids(n);
 
-    let metrics = vec![
-        trial::run(&g, &ids, TrialConfig::proper(1)).unwrap().metrics,
-        trial::run(&g, &ids, TrialConfig::proper(64)).unwrap().metrics,
-        trial::run(&g, &ids, TrialConfig::defective(4, 1)).unwrap().metrics,
+    let metrics = [
+        trial::run(&g, &ids, TrialConfig::proper(1))
+            .unwrap()
+            .metrics,
+        trial::run(&g, &ids, TrialConfig::proper(64))
+            .unwrap()
+            .metrics,
+        trial::run(&g, &ids, TrialConfig::defective(4, 1))
+            .unwrap()
+            .metrics,
         corollary::linial_color_reduction(&g, &ids).unwrap().metrics,
         pipeline::delta_plus_one(&g).unwrap().metrics,
     ];
@@ -35,7 +41,9 @@ fn one_round_algorithms_really_use_one_round() {
     assert!(lin.metrics.rounds <= 2);
 
     // Lemma 4.1: exactly one round.
-    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None)
+        .unwrap()
+        .coloring;
     let red = reduction::one_round_reduction(&g, &seed, ExecutionMode::Sequential).unwrap();
     assert_eq!(red.metrics.rounds, 1);
 
@@ -50,8 +58,16 @@ fn round_bound_of_theorem_1_1_holds_across_k_and_d() {
     let ids = Coloring::from_ids(400);
     for k in [1u64, 3, 17, 200] {
         for d in [0u32, 1, 3] {
-            let out = trial::run(&g, &ids, TrialConfig { d, k, mode: ExecutionMode::Sequential })
-                .unwrap();
+            let out = trial::run(
+                &g,
+                &ids,
+                TrialConfig {
+                    d,
+                    k,
+                    mode: ExecutionMode::Sequential,
+                },
+            )
+            .unwrap();
             assert!(
                 out.metrics.rounds <= out.params.rounds + 1,
                 "k={k} d={d}: rounds {} exceed bound {}",

@@ -10,12 +10,28 @@ fn families() -> Vec<GraphFamily> {
         GraphFamily::Ring { n: 128 },
         GraphFamily::Complete { n: 12 },
         GraphFamily::CompleteBipartite { a: 10, b: 14 },
-        GraphFamily::Grid { w: 10, h: 10, wrap: true },
+        GraphFamily::Grid {
+            w: 10,
+            h: 10,
+            wrap: true,
+        },
         GraphFamily::Caterpillar { spine: 12, legs: 4 },
-        GraphFamily::RandomRegular { n: 300, d: 12, seed: 3 },
-        GraphFamily::Gnp { n: 200, p: 0.05, seed: 4 },
+        GraphFamily::RandomRegular {
+            n: 300,
+            d: 12,
+            seed: 3,
+        },
+        GraphFamily::Gnp {
+            n: 200,
+            p: 0.05,
+            seed: 4,
+        },
         GraphFamily::RandomTree { n: 200, seed: 5 },
-        GraphFamily::BarabasiAlbert { n: 200, m: 3, seed: 6 },
+        GraphFamily::BarabasiAlbert {
+            n: 200,
+            m: 3,
+            seed: 6,
+        },
         GraphFamily::DisjointCliques { count: 6, size: 7 },
     ]
 }
@@ -24,8 +40,8 @@ fn families() -> Vec<GraphFamily> {
 fn simple_pipeline_colors_every_family_with_delta_plus_one() {
     for family in families() {
         let g = family.build();
-        let result = pipeline::delta_plus_one(&g)
-            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        let result =
+            pipeline::delta_plus_one(&g).unwrap_or_else(|e| panic!("{}: {e}", family.name()));
         verify::check_proper(&g, &result.coloring)
             .unwrap_or_else(|v| panic!("{}: {v}", family.name()));
         assert!(
@@ -48,9 +64,21 @@ fn simple_pipeline_colors_every_family_with_delta_plus_one() {
 #[test]
 fn scheduled_pipeline_agrees_on_palette_bound() {
     for family in [
-        GraphFamily::RandomRegular { n: 250, d: 16, seed: 9 },
-        GraphFamily::Grid { w: 12, h: 12, wrap: false },
-        GraphFamily::Gnp { n: 150, p: 0.08, seed: 10 },
+        GraphFamily::RandomRegular {
+            n: 250,
+            d: 16,
+            seed: 9,
+        },
+        GraphFamily::Grid {
+            w: 12,
+            h: 12,
+            wrap: false,
+        },
+        GraphFamily::Gnp {
+            n: 150,
+            p: 0.08,
+            seed: 10,
+        },
     ] {
         let g = family.build();
         let result = pipeline::delta_plus_one_scheduled(&g, None, ExecutionMode::Sequential)

@@ -106,7 +106,7 @@ proptest! {
         if k > 0 {
             prop_assert!(m >= reduction::required_input_colors(k, delta));
         }
-        if k + 1 <= (delta as u64).saturating_sub(1).min((delta as u64 + 3) / 2) {
+        if k < (delta as u64).saturating_sub(1).min((delta as u64 + 3) / 2) {
             prop_assert!(m < reduction::required_input_colors(k + 1, delta));
         }
     }

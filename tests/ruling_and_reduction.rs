@@ -74,7 +74,9 @@ fn iterated_one_round_reduction_is_slower_than_corollary_1_2_3() {
     // Corollary 1.2(3) does an equivalent reduction in O(1) rounds.
     let g = generators::random_regular(400, 16, 13);
     let delta = g.max_degree() as u64;
-    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None).unwrap().coloring;
+    let seed = dcme_coloring::linial::delta_squared_from_ids(&g, None)
+        .unwrap()
+        .coloring;
     let start = dcme_coloring::elimination::reduce_to_target(
         &g,
         &seed,
@@ -88,7 +90,7 @@ fn iterated_one_round_reduction_is_slower_than_corollary_1_2_3() {
     verify::check_proper(&g, &reduced).unwrap();
     assert_eq!(reduced.palette(), delta + 1);
     assert!(
-        rounds as u64 >= delta / 2,
+        rounds >= delta / 2,
         "iterated 1-round reductions took only {rounds} rounds for Δ = {delta}"
     );
 }
