@@ -44,7 +44,7 @@ impl NodeAlgorithm for IterativeNode {
         Outbox::Broadcast(ColorMsg(self.color))
     }
 
-    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<ColorMsg>) {
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, ColorMsg>) {
         let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, m)| m.0).collect();
         if self.color >= self.target && neighbor_colors.iter().all(|&c| c < self.color) {
             let used: std::collections::HashSet<u64> = neighbor_colors.iter().copied().collect();

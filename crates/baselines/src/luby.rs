@@ -66,7 +66,7 @@ impl NodeAlgorithm for LubyNode {
         Outbox::Broadcast(LubyMessage::Propose(choice))
     }
 
-    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<LubyMessage>) {
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, LubyMessage>) {
         if self.announced {
             self.halted = true;
             return;

@@ -53,7 +53,7 @@ impl NodeAlgorithm for EliminationNode {
         Outbox::Broadcast(CurrentColor(self.color))
     }
 
-    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<CurrentColor>) {
+    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<'_, CurrentColor>) {
         // Round t eliminates color class `target + t`.
         let eliminated = self.target + ctx.round;
         if self.color == eliminated {

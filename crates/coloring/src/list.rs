@@ -109,7 +109,7 @@ impl NodeAlgorithm for ListNode {
         }
     }
 
-    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<ListMessage>) {
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, ListMessage>) {
         if self.announced {
             self.halted = true;
             return;

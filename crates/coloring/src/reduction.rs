@@ -125,7 +125,7 @@ impl NodeAlgorithm for ReductionNode {
         Outbox::Broadcast(InputColor(self.input))
     }
 
-    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<InputColor>) {
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, InputColor>) {
         let plan = self.plan;
         let neighbor_colors: std::collections::HashSet<u64> =
             inbox.iter().map(|(_, m)| m.0).collect();

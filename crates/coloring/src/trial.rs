@@ -198,7 +198,7 @@ impl NodeAlgorithm for TrialNode {
         })
     }
 
-    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<TrialMessage>) {
+    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<'_, TrialMessage>) {
         let q = self.q();
 
         // Record neighbours that announced a permanent color this round.

@@ -12,6 +12,19 @@
 //! it halted are still delivered).  When all nodes have halted, the round in
 //! which the last node halted is the measured round complexity.
 //!
+//! # Accounting for messages sent to halted nodes
+//!
+//! Neighbours of a halted node generally cannot know it has halted, so they
+//! may keep transmitting to it.  The engine charges **every transmitted
+//! message** to [`RunMetrics`](crate::RunMetrics) — including messages
+//! addressed to halted receivers, which occupy the wire exactly like any
+//! other CONGEST message — but a halted receiver simply discards them: its
+//! `receive` is never invoked again, so its state and output are unaffected.
+//! This "charge the sender, discard at the sleeping receiver" semantics is a
+//! deliberate, documented choice (pinned by a regression test): round and
+//! bandwidth complexity measure what the *network* carries, not what
+//! receivers choose to read.
+//!
 //! Nodes address neighbours exclusively through *ports* — they never learn
 //! neighbour identifiers unless a neighbour announces its own, which mirrors
 //! the LOCAL/CONGEST assumption that nodes "are unaware of the IDs of their
@@ -75,48 +88,57 @@ impl<M> Outbox<M> {
     }
 }
 
-/// The messages a node received in one round, tagged by the port on which
+/// The messages a node received in one round, indexed by the port on which
 /// they arrived.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Inbox<M> {
-    messages: Vec<(Port, M)>,
+///
+/// An inbox is a zero-copy *view* into the engine's per-run [`RoundState`]
+/// arena: one slot per port, `Some(msg)` if a message arrived on that port
+/// this round.  Because the CONGEST model allows at most one message per
+/// edge per round, a slot per port is always enough (the engine rejects
+/// algorithms that try to send twice over the same port in one round).
+///
+/// [`RoundState`]: crate::executor::RoundState
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inbox<'a, M> {
+    slots: &'a [Option<M>],
 }
 
-impl<M> Inbox<M> {
-    /// Creates an inbox from `(port, message)` pairs.
-    pub fn new(mut messages: Vec<(Port, M)>) -> Self {
-        messages.sort_by_key(|(p, _)| *p);
-        Self { messages }
+impl<'a, M> Inbox<'a, M> {
+    /// Creates an inbox viewing one slot per port (`slots[p]` holds the
+    /// message that arrived on port `p`, if any).
+    pub fn from_slots(slots: &'a [Option<M>]) -> Self {
+        Self { slots }
     }
 
     /// An empty inbox.
     pub fn empty() -> Self {
-        Self {
-            messages: Vec::new(),
-        }
+        Self { slots: &[] }
     }
 
     /// Iterator over `(port, message)` pairs in port order.
-    pub fn iter(&self) -> impl Iterator<Item = (Port, &M)> {
-        self.messages.iter().map(|(p, m)| (*p, m))
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &'a M)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
     }
 
     /// The message that arrived on `port`, if any.
-    pub fn from_port(&self, port: Port) -> Option<&M> {
-        self.messages
-            .binary_search_by_key(&port, |(p, _)| *p)
-            .ok()
-            .map(|i| &self.messages[i].1)
+    pub fn from_port(&self, port: Port) -> Option<&'a M> {
+        self.slots.get(port)?.as_ref()
     }
 
     /// Number of messages received.
+    ///
+    /// This scans the node's port slots, so it costs `O(deg(v))`; prefer a
+    /// single [`Inbox::iter`] pass over repeated `len()` calls.
     pub fn len(&self) -> usize {
-        self.messages.len()
+        self.slots.iter().filter(|m| m.is_some()).count()
     }
 
     /// Whether no message was received.
     pub fn is_empty(&self) -> bool {
-        self.messages.is_empty()
+        self.slots.iter().all(|m| m.is_none())
     }
 }
 
@@ -127,7 +149,11 @@ impl<M> Inbox<M> {
 /// sequential executors are required to produce identical outputs).
 pub trait NodeAlgorithm: Send {
     /// The message type exchanged over edges.
-    type Message: Clone + Send + MessageSize;
+    ///
+    /// `Sync` is required because the pooled executor's workers read their
+    /// nodes' inbox slots concurrently from the shared round arena; message
+    /// types are plain data in practice, so the bound is automatic.
+    type Message: Clone + Send + Sync + MessageSize;
     /// The node's final output (e.g. its color).
     type Output: Clone + Send;
 
@@ -138,7 +164,7 @@ pub trait NodeAlgorithm: Send {
     fn send(&mut self, ctx: &NodeContext) -> Outbox<Self::Message>;
 
     /// Consumes this round's incoming messages and updates local state.
-    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<Self::Message>);
+    fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<'_, Self::Message>);
 
     /// Whether this node has terminated (produced its final output).
     fn is_halted(&self) -> bool;
@@ -153,15 +179,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn inbox_sorts_and_looks_up_by_port() {
-        let inbox = Inbox::new(vec![(2, "c"), (0, "a"), (1, "b")]);
+    fn inbox_views_slots_in_port_order() {
+        let slots = [Some("a"), None, Some("c"), Some("d")];
+        let inbox = Inbox::from_slots(&slots);
         let collected: Vec<_> = inbox.iter().map(|(p, m)| (p, *m)).collect();
-        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
-        assert_eq!(inbox.from_port(1), Some(&"b"));
+        assert_eq!(collected, vec![(0, "a"), (2, "c"), (3, "d")]);
+        assert_eq!(inbox.from_port(2), Some(&"c"));
+        assert_eq!(inbox.from_port(1), None);
         assert_eq!(inbox.from_port(7), None);
         assert_eq!(inbox.len(), 3);
         assert!(!inbox.is_empty());
         assert!(Inbox::<u64>::empty().is_empty());
+        assert_eq!(Inbox::<u64>::empty().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Round-loop execution strategies behind the [`Executor`] seam.
+//!
+//! The [`Simulator`](crate::Simulator) owns the *what* of a run (topology,
+//! node state machines, metrics); an [`Executor`] owns the *how* of driving
+//! the synchronous send → deliver → receive loop.  Two strategies ship today:
+//!
+//! * [`SequentialExecutor`] — the reference implementation: one thread, one
+//!   pass over the active set per phase.
+//! * [`PooledExecutor`] — a persistent worker pool: scoped threads are
+//!   spawned **once per run** and coordinate the per-round phases through a
+//!   poison-aware phase barrier, instead of re-chunking and re-spawning
+//!   threads twice per round.
+//!
+//! Both strategies share the per-run [`RoundState`] arena and are required to
+//! be *bit-for-bit equivalent*: same outputs, same metrics (up to wall-clock
+//! phase timings), regardless of thread count.  Tests assert this.  A future
+//! edge-partitioned sharded topology slots in as a third `Executor`
+//! implementation without touching `Simulator::run` callers.
+//!
+//! # The zero-allocation round loop
+//!
+//! All per-round buffers live in [`RoundState`], allocated once per run and
+//! recycled every round:
+//!
+//! * **Inbox slots** — a flat, CSR-indexed arena with one slot per directed
+//!   edge, pre-sized from the [`Topology`] offsets.  A message from `v`
+//!   over port `p` lands in the slot of the reverse port at the receiving
+//!   endpoint; a node's inbox is a zero-copy [`Inbox`] view of its slot
+//!   range.  Only the slots actually filled in a round (tracked in a
+//!   `touched` list) are cleared afterwards, so quiet rounds cost `O(active)`
+//!   rather than `O(n + m)`.
+//! * **Active-set compaction** — the engine iterates a compact list of
+//!   still-active node ids and shrinks it as nodes halt, so halted nodes
+//!   stop costing even an `is_halted()` check per round.
+//! * **Outbox staging** — send results are staged in reusable buffers
+//!   (per-worker mailboxes in the pooled executor) whose capacity persists
+//!   across rounds.
+//!
+//! # Pooled barrier protocol
+//!
+//! Each worker owns a contiguous chunk of nodes for the whole run.  Per
+//! round the pool crosses four barriers: **A** (the coordinator has published
+//! the round number / stop flag) → workers run the send phase into their
+//! mailboxes → **B** → the coordinator clears last round's slots and
+//! delivers all staged outboxes into the arena → **C** → workers run the
+//! receive phase against read-locked slot views, compact their local active
+//! lists and publish the new counts → **D** → the coordinator sums the
+//! counts and decides the next round.  A panic in any phase (user algorithm
+//! code or delivery validation) poisons the pool at the next barrier so all
+//! parties unwind together and the original panic is re-thrown — never a
+//! deadlocked barrier.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
+use crate::metrics::RunMetrics;
+use crate::topology::{NodeId, Topology};
+
+/// The reusable per-run arena of the round engine.
+///
+/// Holds every buffer the round loop needs — inbox slots, the touched-slot
+/// list, the compact active set and the outbox staging buffer — so that a
+/// run performs no per-round allocations after the first few rounds.  See
+/// the [module docs](self) for the layout.
+#[derive(Debug)]
+pub struct RoundState<M> {
+    /// One inbox slot per directed edge, CSR-indexed: node `v`'s ports
+    /// occupy `topology.port_range(v)`.
+    slots: Vec<Option<M>>,
+    /// Indices of slots filled during the current round's delivery; cleared
+    /// (and only these are cleared) before the next delivery.
+    touched: Vec<usize>,
+    /// Compact list of currently-active node ids (sequential executor).
+    active: Vec<NodeId>,
+    /// Staged `(sender, outbox)` pairs of the current round (sequential
+    /// executor; the pooled executor stages in per-worker mailboxes).
+    staged: Vec<(NodeId, Outbox<M>)>,
+}
+
+impl<M> Default for RoundState<M> {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            touched: Vec::new(),
+            active: Vec::new(),
+            staged: Vec::new(),
+        }
+    }
+}
+
+impl<M: MessageSize + Clone> RoundState<M> {
+    /// Creates an arena pre-sized for `topology`: one inbox slot per
+    /// directed edge.
+    pub fn new(topology: &Topology) -> Self {
+        Self {
+            slots: (0..topology.num_directed_edges()).map(|_| None).collect(),
+            touched: Vec::new(),
+            active: Vec::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// The inbox view of node `v`: one slot per port, in port order.
+    pub fn inbox<'a>(&'a self, topology: &Topology, v: NodeId) -> Inbox<'a, M> {
+        Inbox::from_slots(&self.slots[topology.port_range(v)])
+    }
+
+    /// Clears the slots filled by the previous round's delivery.
+    fn clear_round(&mut self) {
+        for i in self.touched.drain(..) {
+            self.slots[i] = None;
+        }
+    }
+
+    /// Delivers one node's outbox into the arena, charging every transmitted
+    /// message to `metrics` (including messages addressed to halted
+    /// receivers — see the accounting semantics in [`crate::algorithm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outbox names a nonexistent port or sends two messages
+    /// over the same port in one round (the CONGEST model allows one message
+    /// per edge per round).
+    fn deliver(
+        &mut self,
+        topology: &Topology,
+        v: NodeId,
+        outbox: Outbox<M>,
+        metrics: &mut RunMetrics,
+    ) {
+        match outbox {
+            Outbox::Silent => {}
+            Outbox::Broadcast(msg) => {
+                for p in 0..topology.degree(v) {
+                    let u = topology.neighbor_at(v, p);
+                    let rp = topology.reverse_port(v, p);
+                    metrics.record_message(msg.bit_size());
+                    self.fill(topology.port_range(u).start + rp, msg.clone(), v);
+                }
+            }
+            Outbox::PerPort(list) => {
+                for (p, msg) in list {
+                    assert!(
+                        p < topology.degree(v),
+                        "node {v} sent on nonexistent port {p}"
+                    );
+                    let u = topology.neighbor_at(v, p);
+                    let rp = topology.reverse_port(v, p);
+                    metrics.record_message(msg.bit_size());
+                    self.fill(topology.port_range(u).start + rp, msg, v);
+                }
+            }
+        }
+    }
+
+    fn fill(&mut self, slot: usize, msg: M, sender: NodeId) {
+        let entry = &mut self.slots[slot];
+        assert!(
+            entry.is_none(),
+            "node {sender} sent two messages over the same port in one round"
+        );
+        *entry = Some(msg);
+        self.touched.push(slot);
+    }
+}
+
+/// A strategy for driving the synchronous round loop.
+///
+/// Implementations must uphold the engine contract:
+///
+/// * rounds are globally synchronous — all sends of round `r` complete
+///   before any delivery, all deliveries before any receive;
+/// * the result is bit-for-bit identical to [`SequentialExecutor`] (outputs
+///   and all metrics except wall-clock [`PhaseTimings`]);
+/// * on return, `metrics.rounds`, `metrics.hit_round_cap`,
+///   `metrics.active_per_round` and `metrics.phase_nanos` are filled in.
+///
+/// [`PhaseTimings`]: crate::metrics::PhaseTimings
+pub trait Executor {
+    /// Drives `nodes` (already initialised) to completion or to `max_rounds`.
+    fn drive<A: NodeAlgorithm>(
+        &self,
+        topology: &Topology,
+        nodes: &mut [A],
+        contexts: &[NodeContext],
+        state: &mut RoundState<A::Message>,
+        max_rounds: u64,
+        metrics: &mut RunMetrics,
+    );
+}
+
+/// The reference executor: one thread, one pass over the active set per
+/// phase.  Trivially deterministic; every other executor is tested against
+/// it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl Executor for SequentialExecutor {
+    fn drive<A: NodeAlgorithm>(
+        &self,
+        topology: &Topology,
+        nodes: &mut [A],
+        contexts: &[NodeContext],
+        state: &mut RoundState<A::Message>,
+        max_rounds: u64,
+        metrics: &mut RunMetrics,
+    ) {
+        let mut active = std::mem::take(&mut state.active);
+        active.clear();
+        active.extend((0..nodes.len()).filter(|&v| !nodes[v].is_halted()));
+
+        let mut round: u64 = 0;
+        loop {
+            if active.is_empty() {
+                break;
+            }
+            if round >= max_rounds {
+                metrics.hit_round_cap = true;
+                break;
+            }
+            metrics.active_per_round.push(active.len());
+
+            // --- Send phase ---------------------------------------------
+            let t = Instant::now();
+            let mut staged = std::mem::take(&mut state.staged);
+            for &v in &active {
+                let ctx = NodeContext {
+                    round,
+                    ..contexts[v]
+                };
+                let outbox = nodes[v].send(&ctx);
+                if !outbox.is_silent() {
+                    staged.push((v, outbox));
+                }
+            }
+            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+
+            // --- Delivery -----------------------------------------------
+            let t = Instant::now();
+            state.clear_round();
+            for (v, outbox) in staged.drain(..) {
+                state.deliver(topology, v, outbox, metrics);
+            }
+            state.staged = staged;
+            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+
+            // --- Receive phase ------------------------------------------
+            let t = Instant::now();
+            for &v in &active {
+                let ctx = NodeContext {
+                    round,
+                    ..contexts[v]
+                };
+                let inbox = state.inbox(topology, v);
+                nodes[v].receive(&ctx, &inbox);
+            }
+            active.retain(|&v| !nodes[v].is_halted());
+            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+
+            round += 1;
+        }
+
+        metrics.rounds = round;
+        state.active = active;
+    }
+}
+
+/// The persistent-pool executor: `threads` scoped workers are spawned once
+/// per run, each owning a contiguous chunk of nodes, and the per-round
+/// phases are coordinated through barriers (see the [module docs](self) for
+/// the protocol).  Bit-for-bit equivalent to [`SequentialExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct PooledExecutor {
+    threads: usize,
+}
+
+impl PooledExecutor {
+    /// Creates a pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Per-worker staging shared with the coordinator: the worker fills it
+/// during the send phase and publishes its active count after the receive
+/// phase; the coordinator drains it during delivery.
+struct Mailbox<M> {
+    outboxes: Vec<(NodeId, Outbox<M>)>,
+    active: usize,
+}
+
+/// Per-round signals published by the coordinator before barrier A.
+struct RoundSignal {
+    round: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// Barrier synchronisation with panic poisoning.
+///
+/// Every phase body runs inside [`PhaseSync::guard`]; a panic is captured,
+/// the pool is flagged as poisoned, and the panicking party still reaches
+/// its next barrier.  The first captured payload is re-thrown to the caller
+/// by [`PhaseSync::rethrow`].
+///
+/// The barrier is hand-rolled (generation-counted mutex + condvar) rather
+/// than [`std::sync::Barrier`] because the poison verdict must be decided
+/// **at the instant a crossing completes** and stamped into that
+/// generation.  Reading an atomic flag *after* a standard barrier crossing
+/// is racy: a descheduled party could perform its read only after a later
+/// phase has already poisoned the pool, see a different verdict than its
+/// peers, and exit early — leaving the remaining parties deadlocked at the
+/// next crossing.  With a per-generation verdict every party of a crossing
+/// observes the same decision no matter when it wakes, so all parties
+/// always exit at the same crossing.
+struct PhaseSync {
+    state: Mutex<SyncState>,
+    cvar: Condvar,
+    parties: usize,
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+struct SyncState {
+    /// Parties that have arrived at the current crossing.
+    arrived: usize,
+    /// Completed-crossings counter.
+    generation: u64,
+    /// Poison verdict of the most recently completed crossing.
+    verdict_poisoned: bool,
+}
+
+impl PhaseSync {
+    fn new(parties: usize) -> Self {
+        Self {
+            state: Mutex::new(SyncState {
+                arrived: 0,
+                generation: 0,
+                verdict_poisoned: false,
+            }),
+            cvar: Condvar::new(),
+            parties,
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Runs one phase body, capturing a panic instead of unwinding through
+    /// the pool.  `AssertUnwindSafe` is sound here because after a poisoning
+    /// panic the possibly-inconsistent node/arena state is never touched
+    /// again: every party exits at the next barrier and the panic is
+    /// re-thrown.
+    fn guard(&self, body: impl FnOnce()) {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            self.poisoned.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Crosses the barrier; returns `false` if the pool was poisoned when
+    /// the crossing completed.  The verdict is stamped per generation, so
+    /// every party of one crossing gets the same answer and all parties
+    /// exit the protocol at the same crossing.
+    fn sync(&self) -> bool {
+        // No user code runs under this lock, so it cannot be poisoned; the
+        // `unwrap_or_else` is belt and braces.
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            st.verdict_poisoned = self.poisoned.load(Ordering::SeqCst);
+            let verdict = st.verdict_poisoned;
+            drop(st);
+            self.cvar.notify_all();
+            !verdict
+        } else {
+            while st.generation == generation {
+                st = self.cvar.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            // `verdict_poisoned` still belongs to our generation: the next
+            // crossing cannot complete (and overwrite it) before this party
+            // calls `sync` again.
+            !st.verdict_poisoned
+        }
+    }
+
+    /// Re-throws the first captured panic, if any.
+    fn rethrow(&self) {
+        let payload = self.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Executor for PooledExecutor {
+    fn drive<A: NodeAlgorithm>(
+        &self,
+        topology: &Topology,
+        nodes: &mut [A],
+        contexts: &[NodeContext],
+        state: &mut RoundState<A::Message>,
+        max_rounds: u64,
+        metrics: &mut RunMetrics,
+    ) {
+        let n = nodes.len();
+        let chunk = n.div_ceil(self.threads).max(1);
+        let workers = n.div_ceil(chunk); // number of nonempty chunks (0 if n == 0)
+
+        let arena = RwLock::new(std::mem::take(state));
+        let signal = RoundSignal {
+            round: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        };
+        let sync = PhaseSync::new(workers + 1);
+        let mailboxes: Vec<Mutex<Mailbox<A::Message>>> = (0..workers)
+            .map(|_| {
+                Mutex::new(Mailbox {
+                    outboxes: Vec::new(),
+                    active: 0,
+                })
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for (w, (node_chunk, ctx_chunk)) in nodes
+                .chunks_mut(chunk)
+                .zip(contexts.chunks(chunk))
+                .enumerate()
+            {
+                let base = w * chunk;
+                let (arena, signal, sync, mailbox) = (&arena, &signal, &sync, &mailboxes[w]);
+                scope.spawn(move || {
+                    worker_loop(
+                        topology, node_chunk, ctx_chunk, base, arena, signal, sync, mailbox,
+                    );
+                });
+            }
+            coordinate(
+                topology, &arena, &signal, &sync, &mailboxes, max_rounds, metrics,
+            );
+        });
+
+        *state = arena.into_inner().unwrap_or_else(|e| e.into_inner());
+        sync.rethrow();
+    }
+}
+
+/// The per-worker half of the pooled barrier protocol.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<A: NodeAlgorithm>(
+    topology: &Topology,
+    nodes: &mut [A],
+    contexts: &[NodeContext],
+    base: NodeId,
+    arena: &RwLock<RoundState<A::Message>>,
+    signal: &RoundSignal,
+    sync: &PhaseSync,
+    mailbox: &Mutex<Mailbox<A::Message>>,
+) {
+    // Local compact active set (global node ids); compaction never leaves
+    // this worker, only the count is published.
+    let mut active: Vec<NodeId> = Vec::new();
+    sync.guard(|| {
+        active.extend(
+            (0..nodes.len())
+                .filter(|&i| !nodes[i].is_halted())
+                .map(|i| base + i),
+        );
+        mailbox.lock().expect("mailbox lock").active = active.len();
+    });
+    if !sync.sync() {
+        return; // ready barrier
+    }
+
+    loop {
+        if !sync.sync() {
+            return; // A: round decision published
+        }
+        if signal.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let round = signal.round.load(Ordering::SeqCst);
+
+        // --- Send phase: stage outboxes in the worker's mailbox ---------
+        sync.guard(|| {
+            let mut mb = mailbox.lock().expect("mailbox lock");
+            for &v in &active {
+                let ctx = NodeContext {
+                    round,
+                    ..contexts[v - base]
+                };
+                let outbox = nodes[v - base].send(&ctx);
+                if !outbox.is_silent() {
+                    mb.outboxes.push((v, outbox));
+                }
+            }
+        });
+        if !sync.sync() {
+            return; // B: all sends staged — coordinator delivers
+        }
+        if !sync.sync() {
+            return; // C: delivery done — slots are readable
+        }
+
+        // --- Receive phase: read slot views, compact, publish count -----
+        sync.guard(|| {
+            {
+                let st = arena.read().expect("arena read lock");
+                for &v in &active {
+                    let ctx = NodeContext {
+                        round,
+                        ..contexts[v - base]
+                    };
+                    let inbox = st.inbox(topology, v);
+                    nodes[v - base].receive(&ctx, &inbox);
+                }
+            }
+            active.retain(|&v| !nodes[v - base].is_halted());
+            mailbox.lock().expect("mailbox lock").active = active.len();
+        });
+        if !sync.sync() {
+            return; // D: all receives done — coordinator decides
+        }
+    }
+}
+
+/// The coordinator half of the pooled barrier protocol (runs on the calling
+/// thread inside the worker scope).
+fn coordinate<M: MessageSize + Clone>(
+    topology: &Topology,
+    arena: &RwLock<RoundState<M>>,
+    signal: &RoundSignal,
+    sync: &PhaseSync,
+    mailboxes: &[Mutex<Mailbox<M>>],
+    max_rounds: u64,
+    metrics: &mut RunMetrics,
+) {
+    let mut round: u64 = 0;
+    if sync.sync() {
+        // ready: initial active counts are published
+        loop {
+            let mut proceed = false;
+            sync.guard(|| {
+                let total: usize = mailboxes
+                    .iter()
+                    .map(|m| m.lock().expect("mailbox lock").active)
+                    .sum();
+                if total == 0 {
+                    signal.stop.store(true, Ordering::SeqCst);
+                } else if round >= max_rounds {
+                    metrics.hit_round_cap = true;
+                    signal.stop.store(true, Ordering::SeqCst);
+                } else {
+                    metrics.active_per_round.push(total);
+                    signal.round.store(round, Ordering::SeqCst);
+                    proceed = true;
+                }
+            });
+            if !sync.sync() {
+                break; // A
+            }
+            if !proceed {
+                break;
+            }
+
+            let t = Instant::now();
+            if !sync.sync() {
+                break; // B: workers ran the send phase in this window
+            }
+            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+
+            let t = Instant::now();
+            sync.guard(|| {
+                let mut st = arena.write().expect("arena write lock");
+                st.clear_round();
+                for mb in mailboxes {
+                    let mut mb = mb.lock().expect("mailbox lock");
+                    for (v, outbox) in mb.outboxes.drain(..) {
+                        st.deliver(topology, v, outbox, metrics);
+                    }
+                }
+            });
+            if !sync.sync() {
+                break; // C
+            }
+            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+
+            let t = Instant::now();
+            if !sync.sync() {
+                break; // D: workers ran the receive phase in this window
+            }
+            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+
+            round += 1;
+        }
+    }
+    metrics.rounds = round;
+}

@@ -19,9 +19,11 @@
 //!   numbering,
 //! * [`algorithm::NodeAlgorithm`] — the per-node state machine interface
 //!   (init / send / receive / output),
-//! * [`simulator::Simulator`] — the synchronous round engine, with a
-//!   sequential and a scoped-thread parallel executor that produce identical
-//!   results,
+//! * [`simulator::Simulator`] — the synchronous round engine,
+//! * [`executor::Executor`] — the round-loop strategy seam, with a
+//!   sequential executor and a persistent-pool parallel executor that share
+//!   the zero-allocation [`executor::RoundState`] arena and produce
+//!   identical results,
 //! * [`metrics::RunMetrics`] and [`bandwidth`] — round, message and bit
 //!   accounting so experiments can check the CONGEST `O(log n)`-bit bound.
 //!
@@ -34,12 +36,14 @@
 
 pub mod algorithm;
 pub mod bandwidth;
+pub mod executor;
 pub mod metrics;
 pub mod simulator;
 pub mod topology;
 
 pub use algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 pub use bandwidth::BandwidthReport;
-pub use metrics::RunMetrics;
+pub use executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};
+pub use metrics::{PhaseTimings, RunMetrics};
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
 pub use topology::{NodeId, Port, Topology, TopologyError};

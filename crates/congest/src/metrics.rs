@@ -1,6 +1,44 @@
 //! Round, message and bandwidth accounting for simulator runs.
+//!
+//! # Accounting semantics
+//!
+//! Every *transmitted* message is charged, at the moment of delivery, with
+//! its [`MessageSize::bit_size`](crate::MessageSize::bit_size) — including
+//! messages addressed to nodes that have already halted.  A halted receiver
+//! discards such messages unread (its state and output are unaffected), but
+//! the wire was used, so round/bandwidth complexity counts them.  See the
+//! [`crate::algorithm`] docs for the rationale; a simulator regression test
+//! pins this behaviour.
 
 use serde::{Deserialize, Serialize};
+
+/// Cumulative wall-clock time spent in each engine phase over a whole run,
+/// in nanoseconds.
+///
+/// Filled in by every [`Executor`](crate::executor::Executor); for the
+/// pooled executor the phases are measured by the coordinator between
+/// barrier crossings, so they include the (small, constant) barrier
+/// overhead.  Timings are *measurements*, not semantics: the equivalence
+/// guarantee between executors covers every other metric field but not
+/// these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Time spent asking active nodes for their outboxes.
+    pub send: u64,
+    /// Time spent clearing last round's slots and routing messages into the
+    /// inbox arena.
+    pub deliver: u64,
+    /// Time spent handing inboxes to active nodes (plus active-set
+    /// compaction).
+    pub receive: u64,
+}
+
+impl PhaseTimings {
+    /// Total engine time across all phases, in nanoseconds.
+    pub fn total(&self) -> u64 {
+        self.send + self.deliver + self.receive
+    }
+}
 
 /// Aggregate metrics of one simulator run.
 ///
@@ -23,6 +61,9 @@ pub struct RunMetrics {
     /// Per-round count of nodes that were still active at the start of the
     /// round (useful to see how fast the algorithm "drains").
     pub active_per_round: Vec<usize>,
+    /// Cumulative wall-clock time per engine phase (send / deliver /
+    /// receive), in nanoseconds.
+    pub phase_nanos: PhaseTimings,
 }
 
 impl RunMetrics {
@@ -35,12 +76,15 @@ impl RunMetrics {
         }
     }
 
-    /// Merges another metrics object into this one (used by the parallel
-    /// executor to combine per-shard counters).
+    /// Merges another metrics object into this one (used by multi-phase
+    /// pipelines to combine per-stage counters).
     pub fn merge(&mut self, other: &RunMetrics) {
         self.messages += other.messages;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.phase_nanos.send += other.phase_nanos.send;
+        self.phase_nanos.deliver += other.phase_nanos.deliver;
+        self.phase_nanos.receive += other.phase_nanos.receive;
     }
 
     /// Average message size in bits (0 if no messages were sent).
@@ -69,10 +113,17 @@ mod tests {
 
         let mut b = RunMetrics::default();
         b.record_message(40);
+        b.phase_nanos = PhaseTimings {
+            send: 5,
+            deliver: 7,
+            receive: 11,
+        };
         a.merge(&b);
         assert_eq!(a.messages, 3);
         assert_eq!(a.total_bits, 70);
         assert_eq!(a.max_message_bits, 40);
+        assert_eq!(a.phase_nanos, b.phase_nanos);
+        assert_eq!(a.phase_nanos.total(), 23);
     }
 
     #[test]

@@ -2,32 +2,42 @@
 //!
 //! [`Simulator::run`] drives a vector of per-node state machines (one
 //! [`NodeAlgorithm`] instance per vertex) through synchronous rounds until
-//! every node has halted or a configurable round cap is reached.  Two
-//! executors are available:
+//! every node has halted or a configurable round cap is reached.  The round
+//! loop itself is delegated to an [`Executor`] — see [`crate::executor`] for
+//! the zero-allocation [`RoundState`] arena and the two shipped strategies:
 //!
-//! * **Sequential** — the reference implementation; trivially deterministic.
-//! * **Parallel** — nodes are partitioned across [`std::thread::scope`]
-//!   scoped threads for the send and receive phases.  Because a round's
-//!   sends depend only on
-//!   state from the previous round and receives only touch node-local state,
-//!   the result is bit-for-bit identical to the sequential executor (this is
-//!   asserted by tests and integration tests).
+//! * [`SequentialExecutor`] — the reference implementation; trivially
+//!   deterministic.
+//! * [`PooledExecutor`] — a persistent worker pool (scoped threads spawned
+//!   once per run, phases coordinated by barriers).  Because a round's sends
+//!   depend only on state from the previous round and receives only touch
+//!   node-local state, the result is bit-for-bit identical to the sequential
+//!   executor (asserted by unit and integration tests).
 //!
-//! The engine also performs CONGEST accounting: every delivered message is
-//! charged its [`MessageSize::bit_size`], and the largest message of the run
-//! is reported in [`RunMetrics::max_message_bits`].
+//! The engine also performs CONGEST accounting: every transmitted message is
+//! charged its [`crate::MessageSize::bit_size`] — including messages addressed to
+//! halted receivers, which discard them; see [`crate::algorithm`] for the
+//! accounting semantics — and the largest message of the run is reported in
+//! [`RunMetrics::max_message_bits`].  Per-phase wall-clock totals are
+//! reported in [`RunMetrics::phase_nanos`].
 
-use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
+use crate::algorithm::{NodeAlgorithm, NodeContext};
+use crate::executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};
 use crate::metrics::RunMetrics;
 use crate::topology::Topology;
 
 /// How rounds are executed.
+///
+/// This is the declarative configuration surface; each variant maps to an
+/// [`Executor`] implementation (`Sequential` → [`SequentialExecutor`],
+/// `Parallel` → [`PooledExecutor`]).  Use [`Simulator::run_with_executor`]
+/// to supply a custom strategy directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
     /// Process nodes one after another on the calling thread.
     #[default]
     Sequential,
-    /// Process nodes in parallel using the given number of worker threads.
+    /// Process nodes on a persistent pool of worker threads.
     Parallel {
         /// Number of worker threads (at least 1).
         threads: usize,
@@ -86,15 +96,41 @@ impl<'a> Simulator<'a> {
         self.topology
     }
 
-    /// Runs the algorithm to completion (or to the round cap).
+    /// Runs the algorithm to completion (or to the round cap) with the
+    /// executor selected by the configuration's [`ExecutionMode`].
     ///
     /// `nodes` must contain exactly one state machine per vertex, indexed by
     /// node id.
     ///
     /// # Panics
     ///
-    /// Panics if `nodes.len()` differs from the number of vertices.
-    pub fn run<A: NodeAlgorithm>(&self, mut nodes: Vec<A>) -> RunOutcome<A::Output> {
+    /// Panics if `nodes.len()` differs from the number of vertices, or if an
+    /// algorithm violates the port contract (sends on a nonexistent port, or
+    /// twice over the same port in one round).
+    pub fn run<A: NodeAlgorithm>(&self, nodes: Vec<A>) -> RunOutcome<A::Output> {
+        match self.config.mode {
+            ExecutionMode::Sequential => self.run_with_executor(nodes, &SequentialExecutor),
+            ExecutionMode::Parallel { threads } => {
+                self.run_with_executor(nodes, &PooledExecutor::new(threads))
+            }
+        }
+    }
+
+    /// Runs the algorithm under an explicit [`Executor`] strategy.
+    ///
+    /// This is the seam future execution backends (e.g. an edge-partitioned
+    /// sharded topology) plug into without touching [`Simulator::run`]
+    /// callers.  The configuration's [`ExecutionMode`] is ignored; its
+    /// `max_rounds` still applies.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Simulator::run`].
+    pub fn run_with_executor<A: NodeAlgorithm, E: Executor>(
+        &self,
+        mut nodes: Vec<A>,
+        executor: &E,
+    ) -> RunOutcome<A::Output> {
         let n = self.topology.num_nodes();
         assert_eq!(
             nodes.len(),
@@ -117,198 +153,25 @@ impl<'a> Simulator<'a> {
         }
 
         let mut metrics = RunMetrics::default();
-        let mut round: u64 = 0;
+        let mut state: RoundState<A::Message> = RoundState::new(self.topology);
+        executor.drive(
+            self.topology,
+            &mut nodes,
+            &contexts,
+            &mut state,
+            self.config.max_rounds,
+            &mut metrics,
+        );
 
-        loop {
-            let active: Vec<bool> = nodes.iter().map(|a| !a.is_halted()).collect();
-            let active_count = active.iter().filter(|&&a| a).count();
-            if active_count == 0 {
-                break;
-            }
-            if round >= self.config.max_rounds {
-                metrics.hit_round_cap = true;
-                break;
-            }
-            metrics.active_per_round.push(active_count);
-
-            let round_ctx: Vec<NodeContext> = contexts
-                .iter()
-                .map(|c| NodeContext { round, ..*c })
-                .collect();
-
-            // --- Send phase -------------------------------------------------
-            let outboxes: Vec<Outbox<A::Message>> = match self.config.mode {
-                ExecutionMode::Sequential => nodes
-                    .iter_mut()
-                    .zip(&round_ctx)
-                    .zip(&active)
-                    .map(|((node, ctx), &is_active)| {
-                        if is_active {
-                            node.send(ctx)
-                        } else {
-                            Outbox::Silent
-                        }
-                    })
-                    .collect(),
-                ExecutionMode::Parallel { threads } => {
-                    parallel_send(&mut nodes, &round_ctx, &active, threads)
-                }
-            };
-
-            // --- Delivery ---------------------------------------------------
-            let mut inboxes: Vec<Vec<(usize, A::Message)>> = vec![Vec::new(); n];
-            for (v, outbox) in outboxes.into_iter().enumerate() {
-                match outbox {
-                    Outbox::Silent => {}
-                    Outbox::Broadcast(msg) => {
-                        for p in 0..self.topology.degree(v) {
-                            let u = self.topology.neighbor_at(v, p);
-                            let rp = self.topology.reverse_port(v, p);
-                            metrics.record_message(msg.bit_size());
-                            if active[u] {
-                                inboxes[u].push((rp, msg.clone()));
-                            }
-                        }
-                    }
-                    Outbox::PerPort(list) => {
-                        for (p, msg) in list {
-                            assert!(
-                                p < self.topology.degree(v),
-                                "node {v} sent on nonexistent port {p}"
-                            );
-                            let u = self.topology.neighbor_at(v, p);
-                            let rp = self.topology.reverse_port(v, p);
-                            metrics.record_message(msg.bit_size());
-                            if active[u] {
-                                inboxes[u].push((rp, msg));
-                            }
-                        }
-                    }
-                }
-            }
-
-            // --- Receive phase ----------------------------------------------
-            match self.config.mode {
-                ExecutionMode::Sequential => {
-                    for (v, node) in nodes.iter_mut().enumerate() {
-                        if active[v] {
-                            let inbox = Inbox::new(std::mem::take(&mut inboxes[v]));
-                            node.receive(&round_ctx[v], &inbox);
-                        }
-                    }
-                }
-                ExecutionMode::Parallel { threads } => {
-                    parallel_receive(&mut nodes, &round_ctx, &active, inboxes, threads);
-                }
-            }
-
-            round += 1;
-        }
-
-        metrics.rounds = round;
         let outputs = nodes.iter().map(|a| a.output()).collect();
         RunOutcome { outputs, metrics }
     }
 }
 
-/// Parallel send phase: nodes are chunked and each chunk is processed by a
-/// scoped worker thread.
-fn parallel_send<A: NodeAlgorithm>(
-    nodes: &mut [A],
-    contexts: &[NodeContext],
-    active: &[bool],
-    threads: usize,
-) -> Vec<Outbox<A::Message>> {
-    let threads = threads.max(1);
-    let n = nodes.len();
-    let chunk = n.div_ceil(threads).max(1);
-    let mut out: Vec<Outbox<A::Message>> = Vec::with_capacity(n);
-
-    let node_chunks: Vec<&mut [A]> = nodes.chunks_mut(chunk).collect();
-    let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
-    let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
-
-    let results: Vec<Vec<Outbox<A::Message>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = node_chunks
-            .into_iter()
-            .zip(ctx_chunks)
-            .zip(active_chunks)
-            .map(|((nodes_chunk, ctx_chunk), active_chunk)| {
-                scope.spawn(move || {
-                    nodes_chunk
-                        .iter_mut()
-                        .zip(ctx_chunk)
-                        .zip(active_chunk)
-                        .map(|((node, ctx), &is_active)| {
-                            if is_active {
-                                node.send(ctx)
-                            } else {
-                                Outbox::Silent
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("send-phase worker panicked"))
-            .collect()
-    });
-
-    for chunk_result in results {
-        out.extend(chunk_result);
-    }
-    out
-}
-
-/// Undelivered per-node messages, as (port, payload) pairs.
-type PendingInbox<M> = Vec<(usize, M)>;
-
-/// Parallel receive phase.
-fn parallel_receive<A: NodeAlgorithm>(
-    nodes: &mut [A],
-    contexts: &[NodeContext],
-    active: &[bool],
-    mut inboxes: Vec<PendingInbox<A::Message>>,
-    threads: usize,
-) {
-    let threads = threads.max(1);
-    let n = nodes.len();
-    let chunk = n.div_ceil(threads).max(1);
-
-    let node_chunks: Vec<&mut [A]> = nodes.chunks_mut(chunk).collect();
-    let ctx_chunks: Vec<&[NodeContext]> = contexts.chunks(chunk).collect();
-    let active_chunks: Vec<&[bool]> = active.chunks(chunk).collect();
-    let inbox_chunks: Vec<&mut [PendingInbox<A::Message>]> = inboxes.chunks_mut(chunk).collect();
-
-    std::thread::scope(|scope| {
-        for (((nodes_chunk, ctx_chunk), active_chunk), inbox_chunk) in node_chunks
-            .into_iter()
-            .zip(ctx_chunks)
-            .zip(active_chunks)
-            .zip(inbox_chunks)
-        {
-            scope.spawn(move || {
-                for (((node, ctx), &is_active), inbox) in nodes_chunk
-                    .iter_mut()
-                    .zip(ctx_chunk)
-                    .zip(active_chunk)
-                    .zip(inbox_chunk.iter_mut())
-                {
-                    if is_active {
-                        let inbox = Inbox::new(std::mem::take(inbox));
-                        node.receive(ctx, &inbox);
-                    }
-                }
-            });
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithm::{Inbox, Outbox};
     use crate::topology::Topology;
 
     /// A toy algorithm: every node broadcasts its id for `ttl` rounds and
@@ -344,7 +207,7 @@ mod tests {
             Outbox::Broadcast(self.id)
         }
 
-        fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<u64>) {
+        fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
             for (_, m) in inbox.iter() {
                 self.heard += *m;
             }
@@ -362,6 +225,31 @@ mod tests {
 
     fn triangle() -> Topology {
         Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    fn parallel_config(threads: usize) -> SimulatorConfig {
+        SimulatorConfig {
+            max_rounds: 1_000_000,
+            mode: ExecutionMode::Parallel { threads },
+        }
+    }
+
+    /// Asserts sequential/pooled bit-for-bit equivalence on one workload.
+    fn assert_equivalent(g: &Topology, ttls: &[u64], threads: usize) {
+        let mk = |g: &Topology, ttls: &[u64]| -> Vec<GossipSum> {
+            (0..g.num_nodes())
+                .map(|v| GossipSum::new(ttls[v]))
+                .collect()
+        };
+        let seq = Simulator::new(g).run(mk(g, ttls));
+        let par = Simulator::with_config(g, parallel_config(threads)).run(mk(g, ttls));
+        assert_eq!(seq.outputs, par.outputs, "threads={threads}");
+        assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+        assert_eq!(seq.metrics.messages, par.metrics.messages);
+        assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
+        assert_eq!(seq.metrics.max_message_bits, par.metrics.max_message_bits);
+        assert_eq!(seq.metrics.active_per_round, par.metrics.active_per_round);
+        assert_eq!(seq.metrics.hit_round_cap, par.metrics.hit_round_cap);
     }
 
     #[test]
@@ -399,26 +287,83 @@ mod tests {
     }
 
     #[test]
+    fn round_cap_is_respected_by_the_pool() {
+        let g = triangle();
+        let sim = Simulator::with_config(
+            &g,
+            SimulatorConfig {
+                max_rounds: 3,
+                mode: ExecutionMode::Parallel { threads: 2 },
+            },
+        );
+        let nodes: Vec<GossipSum> = (0..3).map(|_| GossipSum::new(u64::MAX)).collect();
+        let outcome = sim.run(nodes);
+        assert_eq!(outcome.metrics.rounds, 3);
+        assert!(outcome.metrics.hit_round_cap);
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
-        // Ring of 64 nodes.
+        // Ring of 64 nodes, uniform ttl.
         let n = 64;
         let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
         let g = Topology::from_edges(n, &edges).unwrap();
+        assert_equivalent(&g, &vec![5; n], 4);
+    }
 
-        let seq = Simulator::new(&g).run((0..n).map(|_| GossipSum::new(5)).collect::<Vec<_>>());
-        let par = Simulator::with_config(
-            &g,
-            SimulatorConfig {
-                max_rounds: 1_000_000,
-                mode: ExecutionMode::Parallel { threads: 4 },
-            },
-        )
-        .run((0..n).map(|_| GossipSum::new(5)).collect::<Vec<_>>());
+    #[test]
+    fn pool_handles_staggered_halting() {
+        // Nodes halt at staggered rounds, exercising active-set compaction
+        // in every worker chunk.
+        let n = 61; // prime, so chunks cut across the ttl pattern
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Topology::from_edges(n, &edges).unwrap();
+        let ttls: Vec<u64> = (0..n).map(|v| 1 + (v as u64 * 7) % 13).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_equivalent(&g, &ttls, threads);
+        }
+        // The drain is really visible in the metrics: active counts strictly
+        // shrink to the max ttl.
+        let seq =
+            Simulator::new(&g).run((0..n).map(|v| GossipSum::new(ttls[v])).collect::<Vec<_>>());
+        assert_eq!(seq.metrics.rounds, 13);
+        assert_eq!(seq.metrics.active_per_round.len(), 13);
+        assert!(seq
+            .metrics
+            .active_per_round
+            .windows(2)
+            .all(|w| w[1] <= w[0]));
+        assert!(*seq.metrics.active_per_round.last().unwrap() < n);
+    }
 
-        assert_eq!(seq.outputs, par.outputs);
-        assert_eq!(seq.metrics.rounds, par.metrics.rounds);
-        assert_eq!(seq.metrics.messages, par.metrics.messages);
-        assert_eq!(seq.metrics.total_bits, par.metrics.total_bits);
+    #[test]
+    fn pool_with_more_threads_than_nodes() {
+        let g = triangle();
+        assert_equivalent(&g, &[2, 2, 2], 16);
+    }
+
+    #[test]
+    fn pool_with_one_thread() {
+        let n = 10;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Topology::from_edges(n, &edges).unwrap();
+        assert_equivalent(&g, &vec![3; n], 1);
+    }
+
+    #[test]
+    fn pool_on_empty_graph() {
+        let g = Topology::from_edges(0, &[]).unwrap();
+        let outcome = Simulator::with_config(&g, parallel_config(4)).run(Vec::<GossipSum>::new());
+        assert_eq!(outcome.metrics.rounds, 0);
+        assert_eq!(outcome.metrics.messages, 0);
+        assert!(outcome.outputs.is_empty());
+    }
+
+    #[test]
+    fn pool_on_edgeless_graph() {
+        // Nodes but no edges: every node runs its rounds hearing nothing.
+        let g = Topology::from_edges(5, &[]).unwrap();
+        assert_equivalent(&g, &[1, 2, 3, 4, 5], 2);
     }
 
     #[test]
@@ -432,16 +377,19 @@ mod tests {
             fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
                 Outbox::Silent
             }
-            fn receive(&mut self, _ctx: &NodeContext, _inbox: &Inbox<u64>) {}
+            fn receive(&mut self, _ctx: &NodeContext, _inbox: &Inbox<'_, u64>) {}
             fn is_halted(&self) -> bool {
                 true
             }
             fn output(&self) {}
         }
         let g = triangle();
-        let outcome = Simulator::new(&g).run(vec![Immediate, Immediate, Immediate]);
-        assert_eq!(outcome.metrics.rounds, 0);
-        assert_eq!(outcome.metrics.messages, 0);
+        for config in [SimulatorConfig::default(), parallel_config(2)] {
+            let outcome =
+                Simulator::with_config(&g, config).run(vec![Immediate, Immediate, Immediate]);
+            assert_eq!(outcome.metrics.rounds, 0);
+            assert_eq!(outcome.metrics.messages, 0);
+        }
     }
 
     #[test]
@@ -449,6 +397,29 @@ mod tests {
     fn mismatched_node_count_panics() {
         let g = triangle();
         let _ = Simulator::new(&g).run(vec![GossipSum::new(1)]);
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_charged_but_discarded() {
+        // Path 0 - 1.  Node 0 halts after 1 round; node 1 keeps broadcasting
+        // for 3 rounds.  The CONGEST accounting charges node 1's later
+        // messages (the wire is used) but node 0's state stays frozen.
+        let g = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        for config in [SimulatorConfig::default(), parallel_config(2)] {
+            let outcome =
+                Simulator::with_config(&g, config).run(vec![GossipSum::new(1), GossipSum::new(3)]);
+            assert_eq!(outcome.metrics.rounds, 3);
+            // Round 0: both broadcast (2 messages).  Rounds 1 and 2: only
+            // node 1 broadcasts, to the now-halted node 0 (1 message each) —
+            // charged, per the documented semantics.
+            assert_eq!(outcome.metrics.messages, 4);
+            // Node 0 heard node 1 exactly once (round 0) and discarded the
+            // rest; node 1 heard node 0 exactly once (round 0, before the
+            // halt took effect for the next round).
+            assert_eq!(outcome.outputs[0], 1);
+            assert_eq!(outcome.outputs[1], 0);
+            assert_eq!(outcome.metrics.active_per_round, vec![2, 1, 1]);
+        }
     }
 
     #[test]
@@ -473,7 +444,7 @@ mod tests {
                     Outbox::Silent
                 }
             }
-            fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<u64>) {
+            fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
                 self.heard = inbox.iter().map(|(p, m)| (p, *m)).collect();
                 self.done = true;
             }
@@ -502,5 +473,96 @@ mod tests {
         assert_eq!(outcome.outputs[0], vec![(0, 1)]);
         // Node 2 hears nothing: node 1's port 0 points to node 0.
         assert_eq!(outcome.outputs[2], vec![]);
+    }
+
+    /// Broadcasts twice over the same port in one round — a CONGEST model
+    /// violation the engine must reject.
+    #[derive(Clone)]
+    struct DoubleSend;
+    impl NodeAlgorithm for DoubleSend {
+        type Message = u64;
+        type Output = ();
+        fn init(&mut self, _ctx: &NodeContext) {}
+        fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+            Outbox::PerPort(vec![(0, 1), (0, 2)])
+        }
+        fn receive(&mut self, _ctx: &NodeContext, _inbox: &Inbox<'_, u64>) {}
+        fn is_halted(&self) -> bool {
+            false
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages over the same port")]
+    fn duplicate_port_send_is_rejected() {
+        let g = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = Simulator::new(&g).run(vec![DoubleSend, DoubleSend]);
+    }
+
+    /// Panics in `send` at round 1 on one node; the pool must propagate the
+    /// panic instead of deadlocking at a barrier.
+    #[derive(Clone)]
+    struct PanicsAtRoundOne;
+    impl NodeAlgorithm for PanicsAtRoundOne {
+        type Message = u64;
+        type Output = ();
+        fn init(&mut self, _ctx: &NodeContext) {}
+        fn send(&mut self, ctx: &NodeContext) -> Outbox<u64> {
+            if ctx.round == 1 && ctx.node == 2 {
+                panic!("algorithm exploded");
+            }
+            Outbox::Broadcast(ctx.node as u64)
+        }
+        fn receive(&mut self, _ctx: &NodeContext, _inbox: &Inbox<'_, u64>) {}
+        fn is_halted(&self) -> bool {
+            false
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm exploded")]
+    fn pool_propagates_algorithm_panics() {
+        let n = 8;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Topology::from_edges(n, &edges).unwrap();
+        let _ = Simulator::with_config(&g, parallel_config(3))
+            .run((0..n).map(|_| PanicsAtRoundOne).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages over the same port")]
+    fn pool_propagates_delivery_panics() {
+        let g = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = Simulator::with_config(&g, parallel_config(2)).run(vec![DoubleSend, DoubleSend]);
+    }
+
+    #[test]
+    fn phase_timings_are_recorded() {
+        let g = triangle();
+        for config in [SimulatorConfig::default(), parallel_config(2)] {
+            let outcome = Simulator::with_config(&g, config)
+                .run((0..3).map(|_| GossipSum::new(50)).collect::<Vec<_>>());
+            let p = outcome.metrics.phase_nanos;
+            // 50 rounds of real work: each phase must have accumulated time.
+            assert!(p.send > 0 && p.deliver > 0 && p.receive > 0);
+            assert!(p.total() >= p.send);
+        }
+    }
+
+    #[test]
+    fn custom_executor_seam_accepts_an_explicit_strategy() {
+        let g = triangle();
+        let sim = Simulator::new(&g);
+        let pooled = crate::executor::PooledExecutor::new(2);
+        let via_seam = sim.run_with_executor(
+            (0..3).map(|_| GossipSum::new(2)).collect::<Vec<_>>(),
+            &pooled,
+        );
+        let via_mode = Simulator::with_config(&g, parallel_config(2))
+            .run((0..3).map(|_| GossipSum::new(2)).collect::<Vec<_>>());
+        assert_eq!(via_seam.outputs, via_mode.outputs);
+        assert_eq!(via_seam.metrics.messages, via_mode.metrics.messages);
     }
 }

@@ -95,39 +95,46 @@ impl Topology {
             }
         }
 
-        let mut neighbour_lists: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Build the CSR directly via degree counting — no intermediate
+        // per-node Vec<Vec<NodeId>>, so construction performs a constant
+        // number of flat allocations regardless of n.
+        let mut offsets = vec![0usize; n + 1];
         for &(u, v) in edges {
-            neighbour_lists[u].push(v);
-            neighbour_lists[v].push(u);
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
         }
-        for list in &mut neighbour_lists {
-            list.sort_unstable();
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
         }
 
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0);
-        let mut adjacency = Vec::with_capacity(2 * edges.len());
-        for list in &neighbour_lists {
-            adjacency.extend_from_slice(list);
-            offsets.push(adjacency.len());
+        let mut adjacency: Vec<NodeId> = vec![0; 2 * edges.len()];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            adjacency[cursor[u]] = v;
+            cursor[u] += 1;
+            adjacency[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        for v in 0..n {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
         }
 
         // reverse_port[i]: position of v within u's sorted neighbour list,
         // where adjacency[i] = u and i belongs to node v.
         let mut reverse_port = vec![0usize; adjacency.len()];
         for v in 0..n {
-            for (port, &u) in neighbour_lists[v].iter().enumerate() {
+            for port in 0..offsets[v + 1] - offsets[v] {
+                let u = adjacency[offsets[v] + port];
                 // Find v in u's list by binary search (lists are sorted).
-                let pos = neighbour_lists[u]
+                let pos = adjacency[offsets[u]..offsets[u + 1]]
                     .binary_search(&v)
                     .expect("undirected edge must appear in both lists");
                 reverse_port[offsets[v] + port] = pos;
             }
         }
 
-        let max_degree = neighbour_lists
-            .iter()
-            .map(|l| l.len() as u32)
+        let max_degree = (0..n)
+            .map(|v| (offsets[v + 1] - offsets[v]) as u32)
             .max()
             .unwrap_or(0);
 
@@ -151,6 +158,24 @@ impl Topology {
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.num_edges
+    }
+
+    /// Number of directed edges (`2 · num_edges`) — the size of any flat
+    /// per-port buffer, such as the round engine's inbox arena.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The CSR index range of node `v`'s ports: slot `port_range(v).start + p`
+    /// of a flat per-port buffer belongs to `(v, p)`.
+    ///
+    /// This is the indexing contract shared by the round engine's
+    /// [`RoundState`](crate::executor::RoundState) arena and by future
+    /// edge-partitioned shards.
+    #[inline]
+    pub fn port_range(&self, v: NodeId) -> core::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
     }
 
     /// Maximum degree `Δ`.
@@ -305,6 +330,20 @@ mod tests {
                 assert_eq!(g.reverse_port(u, rp), p);
             }
         }
+    }
+
+    #[test]
+    fn csr_port_ranges_partition_the_directed_edges() {
+        let g = Topology::from_edges(5, &[(4, 0), (4, 2), (4, 1), (1, 0)]).unwrap();
+        assert_eq!(g.num_directed_edges(), 8);
+        let mut covered = 0;
+        for v in g.nodes() {
+            let r = g.port_range(v);
+            assert_eq!(r.len(), g.degree(v));
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, g.num_directed_edges());
     }
 
     #[test]

@@ -92,6 +92,54 @@ fn parallel_executor_is_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn pooled_executor_matches_sequential_on_ring_random_and_star() {
+    // The tentpole equivalence guarantee: the persistent-pool executor is
+    // bit-for-bit identical to the sequential reference on topologies with
+    // very different degree profiles (constant, concentrated, and a hub
+    // whose degree equals n - 1).
+    let cases = [
+        ("ring", generators::ring(257)),
+        ("random", generators::gnp(300, 0.03, 23)),
+        ("star", generators::star(199)),
+    ];
+    for (name, g) in cases {
+        let ids = Coloring::from_ids(g.num_nodes());
+        let seq = trial::run(&g, &ids, TrialConfig::proper(2)).unwrap();
+        for threads in [1usize, 3, 8] {
+            let par = trial::run(&g, &ids, TrialConfig::proper(2).parallel(threads)).unwrap();
+            assert_eq!(par.result, seq.result, "{name}, threads = {threads}");
+            assert_eq!(par.metrics.rounds, seq.metrics.rounds, "{name}");
+            assert_eq!(par.metrics.messages, seq.metrics.messages, "{name}");
+            assert_eq!(par.metrics.total_bits, seq.metrics.total_bits, "{name}");
+            assert_eq!(
+                par.metrics.max_message_bits, seq.metrics.max_message_bits,
+                "{name}"
+            );
+            assert_eq!(
+                par.metrics.active_per_round, seq.metrics.active_per_round,
+                "{name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_reports_phase_timings() {
+    // The phase clocks are the observability surface the engine_scaling
+    // bench relies on; make sure real runs populate them.
+    let g = generators::random_regular(256, 6, 3);
+    let ids = Coloring::from_ids(256);
+    for config in [TrialConfig::proper(2), TrialConfig::proper(2).parallel(2)] {
+        let out = trial::run(&g, &ids, config).unwrap();
+        let p = out.metrics.phase_nanos;
+        assert!(p.send > 0, "send phase should accumulate time");
+        assert!(p.deliver > 0, "deliver phase should accumulate time");
+        assert!(p.receive > 0, "receive phase should accumulate time");
+        assert_eq!(p.total(), p.send + p.deliver + p.receive);
+    }
+}
+
+#[test]
 fn message_volume_scales_with_edges_times_rounds() {
     let g = generators::random_regular(300, 10, 13);
     let ids = Coloring::from_ids(300);
