@@ -1,0 +1,163 @@
+//! Scaling of the sharded round engine at `n = 10^7` (`engine_sharding`).
+//!
+//! The graphs are built with the streaming [`dcme_graphs::streaming`]
+//! builders straight into a [`ShardedTopology`] — no global edge list is
+//! ever materialized, so a 10-million-node ring and a `d`-regular circulant
+//! fit comfortably in memory (the compact sharded CSR is the peak).  Each
+//! configuration runs the same staggered-halting gossip workload as
+//! `engine_scaling` to completion under the [`SequentialExecutor`]
+//! (reference; it is generic over the topology representation) and the
+//! [`ShardedExecutor`] (one worker per shard, cross-shard messages through
+//! staging queues), asserting bit-for-bit identical outputs along the way.
+//!
+//! Run the full-size configuration (`n = 10^7`) with `cargo bench --bench
+//! engine_sharding`; set `ENGINE_SHARDING_SMOKE=1` (as CI does) for a
+//! seconds-sized smoke run on `n = 20_000`.  Set
+//! `DCME_METRICS_JSONL=path.jsonl` to append one machine-readable
+//! [`RunMetrics`] row per configuration (JSON lines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_congest::{
+    Inbox, JsonLinesWriter, NodeAlgorithm, NodeContext, Outbox, RunMetrics, RunOutcome,
+    SequentialExecutor, ShardedExecutor, ShardedTopology, Simulator, SimulatorConfig, TopologyView,
+};
+use dcme_graphs::streaming;
+
+/// Gossip with staggered halts (same workload as `engine_scaling`): node `v`
+/// broadcasts its id every round and halts after `ttl(v)` rounds, where most
+/// nodes get a small ttl and every 97th node keeps going for `tail` rounds.
+#[derive(Clone)]
+struct StaggeredGossip {
+    id: u64,
+    ttl: u64,
+    tail: u64,
+    heard: u64,
+    rounds_done: u64,
+}
+
+impl StaggeredGossip {
+    fn new(tail: u64) -> Self {
+        Self {
+            id: 0,
+            ttl: 0,
+            tail,
+            heard: 0,
+            rounds_done: 0,
+        }
+    }
+}
+
+impl NodeAlgorithm for StaggeredGossip {
+    type Message = u64;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &NodeContext) {
+        self.id = ctx.node as u64;
+        self.ttl = if ctx.node % 97 == 0 {
+            self.tail
+        } else {
+            2 + (self.id % 7)
+        };
+    }
+
+    fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+        Outbox::Broadcast(self.id)
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
+        for (_, m) in inbox.iter() {
+            self.heard = self.heard.wrapping_add(*m);
+        }
+        self.rounds_done += 1;
+    }
+
+    fn is_halted(&self) -> bool {
+        self.rounds_done >= self.ttl
+    }
+
+    fn output(&self) -> u64 {
+        self.heard
+    }
+}
+
+fn run(g: &ShardedTopology, tail: u64, sharded: bool) -> RunOutcome<u64> {
+    let nodes: Vec<StaggeredGossip> = (0..g.num_nodes())
+        .map(|_| StaggeredGossip::new(tail))
+        .collect();
+    let sim = Simulator::with_config(
+        g,
+        SimulatorConfig {
+            max_rounds: 1_000_000,
+            ..SimulatorConfig::default()
+        },
+    );
+    if sharded {
+        sim.run_with_executor(nodes, &ShardedExecutor::new())
+    } else {
+        sim.run_with_executor(nodes, &SequentialExecutor)
+    }
+}
+
+fn engine_sharding(c: &mut Criterion) {
+    let smoke = std::env::var_os("ENGINE_SHARDING_SMOKE").is_some();
+    let (n, tail, samples, shards) = if smoke {
+        (20_000usize, 8u64, 2usize, 4usize)
+    } else {
+        (10_000_000usize, 16u64, 3usize, 8usize)
+    };
+
+    let graphs = [
+        ("ring", streaming::ring(n, shards).expect("streamed ring")),
+        (
+            "circulant4",
+            streaming::random_regular(n, 4, 7, shards).expect("streamed circulant"),
+        ),
+    ];
+
+    // One digest per (graph, executor): the sharded executor must agree
+    // with the sequential reference bit for bit, even at n = 10^7.
+    let mut jsonl = std::env::var_os("DCME_METRICS_JSONL").map(|path| {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open DCME_METRICS_JSONL sink");
+        JsonLinesWriter::new(file)
+    });
+    let mut record = |label: &str, metrics: &RunMetrics| {
+        if let Some(w) = jsonl.as_mut() {
+            w.append(label, metrics).expect("append jsonl row");
+        }
+    };
+    for (graph_name, g) in &graphs {
+        let seq = run(g, tail, false);
+        let shd = run(g, tail, true);
+        assert_eq!(
+            seq.outputs, shd.outputs,
+            "sharded executor diverged on {graph_name}"
+        );
+        assert_eq!(seq.metrics.messages, shd.metrics.messages);
+        record(&format!("{graph_name}/n{n}/seq"), &seq.metrics);
+        record(&format!("{graph_name}/n{n}/sharded{shards}"), &shd.metrics);
+    }
+
+    let mut group = c.benchmark_group("engine_sharding");
+    group.sample_size(samples);
+    for (graph_name, g) in &graphs {
+        for sharded in [false, true] {
+            let mode_name = if sharded {
+                format!("shard{shards}")
+            } else {
+                "seq".to_string()
+            };
+            let id = BenchmarkId::new(format!("{graph_name}/n{n}"), mode_name);
+            group.bench_with_input(id, &sharded, |b, &sharded| {
+                b.iter(|| run(g, tail, sharded));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_sharding);
+criterion_main!(benches);

@@ -1,11 +1,19 @@
 //! Runs every experiment (E1-E12) and prints all tables; used to regenerate
 //! the measured numbers in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run -p dcme_bench --release --bin exp_all [-- --full]`
+//! Usage: `cargo run -p dcme_bench --release --bin exp_all [-- --full]
+//! [-- --jsonl out.jsonl]` — with `--jsonl`, every table row is also
+//! appended to the given file as a machine-readable JSON-lines record.
 
 fn main() {
     let scale = dcme_bench::experiments::scale_from_args();
-    for table in dcme_bench::experiments::run_all(scale) {
+    let jsonl = dcme_bench::experiments::jsonl_path_from_args();
+    let tables = dcme_bench::experiments::run_all(scale);
+    for table in &tables {
         println!("{}", table.to_markdown());
+    }
+    if let Some(path) = jsonl {
+        dcme_bench::experiments::append_tables_jsonl(&path, &tables).expect("append --jsonl rows");
+        eprintln!("appended {} tables to {}", tables.len(), path.display());
     }
 }

@@ -617,6 +617,36 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Helper shared by the experiment binaries: parse `--jsonl PATH` from the
+/// argv.  When present, binaries append every table row as a JSON-lines
+/// record to `PATH` (via [`Table::to_jsonl`] and
+/// [`dcme_congest::JsonLinesWriter`]) in addition to printing markdown.
+pub fn jsonl_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jsonl" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Appends every row of `tables` to the JSON-lines file at `path` (created
+/// if missing), as the experiment binaries do for `--jsonl`.
+pub fn append_tables_jsonl(path: &std::path::Path, tables: &[Table]) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut writer = dcme_congest::JsonLinesWriter::new(file);
+    for table in tables {
+        for line in table.to_jsonl().lines() {
+            writer.append_raw(line)?;
+        }
+    }
+    Ok(())
+}
+
 /// Needed by E12 and tests: a tiny smoke check that a topology is usable.
 pub fn smoke(topology: &Topology) -> bool {
     topology.num_nodes() > 0

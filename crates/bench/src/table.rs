@@ -69,6 +69,32 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as [JSON lines](https://jsonlines.org): one object
+    /// per row, keyed by the header columns plus a `"table"` tag, suitable
+    /// for [`dcme_congest::JsonLinesWriter::append_raw`].  Cells stay
+    /// strings — rows are self-describing, not typed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str("{\"table\":");
+            push_json_string(&mut out, &self.title);
+            for (key, cell) in self.header.iter().zip(row) {
+                out.push(',');
+                push_json_string(&mut out, key);
+                out.push(':');
+                push_json_string(&mut out, cell);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    dcme_congest::metrics::json_escape_into(out, s);
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -93,5 +119,20 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn jsonl_rows_are_keyed_and_escaped() {
+        let mut t = Table::new("E\"1\"", &["graph", "rounds"]);
+        t.push_row(vec!["ring(n=3)".into(), "2".into()]);
+        t.push_row(vec!["K_{4}".into(), "5".into()]);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"table\":\"E\\\"1\\\"\",\"graph\":\"ring(n=3)\",\"rounds\":\"2\"}"
+        );
+        assert!(lines[1].contains("\"graph\":\"K_{4}\""));
     }
 }

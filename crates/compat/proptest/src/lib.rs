@@ -215,7 +215,9 @@ macro_rules! prop_assert {
     };
 }
 
-/// Fails the current case unless the two expressions are equal.
+/// Fails the current case unless the two expressions are equal.  Like the
+/// real macro, an optional trailing format string + args replaces the
+/// default message.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr) => {{
@@ -228,6 +230,10 @@ macro_rules! prop_assert_eq {
             stringify!($left),
             stringify!($right)
         );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)+), l, r);
     }};
 }
 

@@ -2,7 +2,8 @@
 //!
 //! The [`Simulator`](crate::Simulator) owns the *what* of a run (topology,
 //! node state machines, metrics); an [`Executor`] owns the *how* of driving
-//! the synchronous send → deliver → receive loop.  Two strategies ship today:
+//! the synchronous send → deliver → receive loop.  Three strategies ship
+//! today:
 //!
 //! * [`SequentialExecutor`] — the reference implementation: one thread, one
 //!   pass over the active set per phase.
@@ -10,12 +11,16 @@
 //!   spawned **once per run** and coordinate the per-round phases through a
 //!   poison-aware phase barrier, instead of re-chunking and re-spawning
 //!   threads twice per round.
+//! * [`ShardedExecutor`] — runs a [`ShardedTopology`]: one worker per
+//!   shard, each owning its shard's inbox slots outright (no shared arena
+//!   lock); only cross-shard messages travel, through per-shard-pair
+//!   staging queues.  See the protocol below.
 //!
-//! Both strategies share the per-run [`RoundState`] arena and are required to
-//! be *bit-for-bit equivalent*: same outputs, same metrics (up to wall-clock
-//! phase timings), regardless of thread count.  Tests assert this.  A future
-//! edge-partitioned sharded topology slots in as a third `Executor`
-//! implementation without touching `Simulator::run` callers.
+//! All strategies are generic over [`TopologyView`] (sequential and pooled
+//! run on either representation; sharded requires the shard structure),
+//! share the per-run [`RoundState`] arena and are required to be
+//! *bit-for-bit equivalent*: same outputs, same metrics (up to wall-clock
+//! phase timings), regardless of thread or shard count.  Tests assert this.
 //!
 //! # The zero-allocation round loop
 //!
@@ -49,16 +54,48 @@
 //! code or delivery validation) poisons the pool at the next barrier so all
 //! parties unwind together and the original panic is re-thrown — never a
 //! deadlocked barrier.
+//!
+//! # Sharded delivery protocol
+//!
+//! The [`ShardedExecutor`] spawns one worker per shard of a
+//! [`ShardedTopology`].  Worker `w` owns, exclusively and lock-free, the
+//! slice of inbox slots belonging to shard `w`'s nodes (the arena's flat
+//! slot vector is split by the shard slot ranges), so **every write to a
+//! slot is performed by the worker that owns it**:
+//!
+//! 1. **Send + route** (barrier A → B): worker `w` clears its slots
+//!    touched last round, runs the send phase for its active nodes, and
+//!    routes each message via the topology's precomputed
+//!    [`dest_slot`](ShardedTopology::dest_slot) remap table — intra-shard
+//!    messages are written straight into `w`'s own slots, cross-shard
+//!    messages are pushed onto the `w → target` staging queue.  Message
+//!    and bit accounting is charged here, split into intra-/cross-shard
+//!    counters.
+//! 2. **Cross-shard drain** (B → C): worker `w` drains every `x → w`
+//!    queue into its own slots.  The queues are `Mutex`-guarded but
+//!    uncontended by construction: `x → w` is written only by `x` in
+//!    phase 1 and read only by `w` in phase 2, with a barrier in between.
+//! 3. **Receive** (C → D): worker `w` hands its nodes their inbox views
+//!    (plain slices of its own slots), compacts its active list and
+//!    publishes the count; the coordinator sums counts and decides the
+//!    next round, exactly like the pooled protocol.
+//!
+//! Per-worker message/bit/phase-time counters are merged into
+//! [`RunMetrics`] in shard order when the run ends, so the totals are
+//! deterministic; `RunMetrics::shard_phase_nanos` additionally keeps the
+//! per-shard phase times, and the intra/cross split is reported in
+//! `RunMetrics::{intra,cross}_shard_messages`.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
-use crate::metrics::RunMetrics;
-use crate::topology::{NodeId, Topology};
+use crate::metrics::{PhaseTimings, RunMetrics};
+use crate::sharded::ShardedTopology;
+use crate::topology::{NodeId, Port, Topology, TopologyView};
 
 /// The reusable per-run arena of the round engine.
 ///
@@ -95,7 +132,7 @@ impl<M> Default for RoundState<M> {
 impl<M: MessageSize + Clone> RoundState<M> {
     /// Creates an arena pre-sized for `topology`: one inbox slot per
     /// directed edge.
-    pub fn new(topology: &Topology) -> Self {
+    pub fn new(topology: &impl TopologyView) -> Self {
         Self {
             slots: (0..topology.num_directed_edges()).map(|_| None).collect(),
             touched: Vec::new(),
@@ -105,7 +142,7 @@ impl<M: MessageSize + Clone> RoundState<M> {
     }
 
     /// The inbox view of node `v`: one slot per port, in port order.
-    pub fn inbox<'a>(&'a self, topology: &Topology, v: NodeId) -> Inbox<'a, M> {
+    pub fn inbox<'a>(&'a self, topology: &impl TopologyView, v: NodeId) -> Inbox<'a, M> {
         Inbox::from_slots(&self.slots[topology.port_range(v)])
     }
 
@@ -127,7 +164,7 @@ impl<M: MessageSize + Clone> RoundState<M> {
     /// per edge per round).
     fn deliver(
         &mut self,
-        topology: &Topology,
+        topology: &impl TopologyView,
         v: NodeId,
         outbox: Outbox<M>,
         metrics: &mut RunMetrics,
@@ -168,7 +205,14 @@ impl<M: MessageSize + Clone> RoundState<M> {
     }
 }
 
-/// A strategy for driving the synchronous round loop.
+/// A strategy for driving the synchronous round loop on a topology
+/// representation `T`.
+///
+/// The trait is generic over [`TopologyView`] so a strategy can either work
+/// with any representation ([`SequentialExecutor`] and [`PooledExecutor`]
+/// implement `Executor<T>` for every `T: TopologyView`) or demand a specific
+/// one ([`ShardedExecutor`] implements only `Executor<ShardedTopology>`,
+/// because it needs the shard layout).
 ///
 /// Implementations must uphold the engine contract:
 ///
@@ -178,13 +222,11 @@ impl<M: MessageSize + Clone> RoundState<M> {
 ///   and all metrics except wall-clock [`PhaseTimings`]);
 /// * on return, `metrics.rounds`, `metrics.hit_round_cap`,
 ///   `metrics.active_per_round` and `metrics.phase_nanos` are filled in.
-///
-/// [`PhaseTimings`]: crate::metrics::PhaseTimings
-pub trait Executor {
+pub trait Executor<T: TopologyView = Topology> {
     /// Drives `nodes` (already initialised) to completion or to `max_rounds`.
     fn drive<A: NodeAlgorithm>(
         &self,
-        topology: &Topology,
+        topology: &T,
         nodes: &mut [A],
         contexts: &[NodeContext],
         state: &mut RoundState<A::Message>,
@@ -199,10 +241,10 @@ pub trait Executor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SequentialExecutor;
 
-impl Executor for SequentialExecutor {
+impl<T: TopologyView> Executor<T> for SequentialExecutor {
     fn drive<A: NodeAlgorithm>(
         &self,
-        topology: &Topology,
+        topology: &T,
         nodes: &mut [A],
         contexts: &[NodeContext],
         state: &mut RoundState<A::Message>,
@@ -411,10 +453,10 @@ impl PhaseSync {
     }
 }
 
-impl Executor for PooledExecutor {
+impl<T: TopologyView> Executor<T> for PooledExecutor {
     fn drive<A: NodeAlgorithm>(
         &self,
-        topology: &Topology,
+        topology: &T,
         nodes: &mut [A],
         contexts: &[NodeContext],
         state: &mut RoundState<A::Message>,
@@ -466,8 +508,8 @@ impl Executor for PooledExecutor {
 
 /// The per-worker half of the pooled barrier protocol.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop<A: NodeAlgorithm>(
-    topology: &Topology,
+fn worker_loop<A: NodeAlgorithm, T: TopologyView>(
+    topology: &T,
     nodes: &mut [A],
     contexts: &[NodeContext],
     base: NodeId,
@@ -545,8 +587,8 @@ fn worker_loop<A: NodeAlgorithm>(
 
 /// The coordinator half of the pooled barrier protocol (runs on the calling
 /// thread inside the worker scope).
-fn coordinate<M: MessageSize + Clone>(
-    topology: &Topology,
+fn coordinate<M: MessageSize + Clone, T: TopologyView>(
+    topology: &T,
     arena: &RwLock<RoundState<M>>,
     signal: &RoundSignal,
     sync: &PhaseSync,
@@ -607,6 +649,395 @@ fn coordinate<M: MessageSize + Clone>(
             let t = Instant::now();
             if !sync.sync() {
                 break; // D: workers ran the receive phase in this window
+            }
+            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+
+            round += 1;
+        }
+    }
+    metrics.rounds = round;
+}
+
+/// The shard-owning executor: one worker per shard of a [`ShardedTopology`],
+/// each with exclusive, lock-free ownership of its shard's inbox slots;
+/// cross-shard messages travel through per-shard-pair staging queues.  See
+/// the [module docs](self) for the delivery protocol.  Bit-for-bit
+/// equivalent to [`SequentialExecutor`] on the same topology.
+///
+/// Unlike the other executors this one is tied to `ShardedTopology` (it
+/// implements only `Executor<ShardedTopology>`): the shard layout *is* its
+/// parallelisation strategy, so it takes no thread-count parameter — the
+/// topology's shard count decides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardedExecutor;
+
+impl ShardedExecutor {
+    /// Creates the executor (stateless; the topology carries the layout).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Per-worker accounting of a sharded run.  Workers fill a local copy and
+/// publish it when they exit; the coordinator merges the reports **in shard
+/// order**, so every total in [`RunMetrics`] is deterministic.
+#[derive(Debug, Default)]
+struct ShardReport {
+    messages: u64,
+    total_bits: u64,
+    max_message_bits: u64,
+    intra: u64,
+    cross: u64,
+    timings: PhaseTimings,
+}
+
+impl ShardReport {
+    fn record(&mut self, bits: u64) {
+        self.messages += 1;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(bits);
+    }
+}
+
+/// A staged cross-shard message: `(destination slot, sender, payload)`.
+/// Slot and sender fit `u32` by the [`ShardedTopology`] construction checks.
+type Staged<M> = (u32, u32, M);
+
+impl Executor<ShardedTopology> for ShardedExecutor {
+    fn drive<A: NodeAlgorithm>(
+        &self,
+        topology: &ShardedTopology,
+        nodes: &mut [A],
+        contexts: &[NodeContext],
+        state: &mut RoundState<A::Message>,
+        max_rounds: u64,
+        metrics: &mut RunMetrics,
+    ) {
+        let shard_count = topology.num_shards();
+        assert_eq!(
+            state.slots.len(),
+            topology.num_directed_edges(),
+            "arena must be pre-sized for this topology"
+        );
+        // Workers track touched slots locally (in shard-local indices), so
+        // any global bookkeeping left in a reused arena is retired first.
+        state.clear_round();
+
+        let signal = RoundSignal {
+            round: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        };
+        let sync = PhaseSync::new(shard_count + 1);
+        let queues: Vec<Mutex<Vec<Staged<A::Message>>>> = (0..shard_count * shard_count)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let active_counts: Vec<AtomicUsize> =
+            (0..shard_count).map(|_| AtomicUsize::new(0)).collect();
+        let reports: Vec<Mutex<ShardReport>> = (0..shard_count)
+            .map(|_| Mutex::new(ShardReport::default()))
+            .collect();
+
+        std::thread::scope(|scope| {
+            // Hand each worker the exclusive slices it owns: its shard's
+            // nodes, contexts and inbox slots (consecutive by the flat slot
+            // contract, so a split_at_mut chain suffices).
+            let mut rest_slots: &mut [Option<A::Message>] = &mut state.slots;
+            let mut rest_nodes: &mut [A] = nodes;
+            let mut rest_ctxs: &[NodeContext] = contexts;
+            for s in 0..shard_count {
+                let node_range = topology.shard_nodes(s);
+                let slot_range = topology.shard_slots(s);
+                let (my_slots, tail) = rest_slots.split_at_mut(slot_range.len());
+                rest_slots = tail;
+                let (my_nodes, tail) = rest_nodes.split_at_mut(node_range.len());
+                rest_nodes = tail;
+                let (my_ctxs, tail) = rest_ctxs.split_at(node_range.len());
+                rest_ctxs = tail;
+                let (signal, sync, queues) = (&signal, &sync, &queues);
+                let (active_count, report) = (&active_counts[s], &reports[s]);
+                scope.spawn(move || {
+                    sharded_worker_loop(
+                        topology,
+                        s,
+                        my_nodes,
+                        my_ctxs,
+                        node_range.start,
+                        my_slots,
+                        slot_range.start,
+                        signal,
+                        sync,
+                        queues,
+                        active_count,
+                        report,
+                    );
+                });
+            }
+            sharded_coordinate(&signal, &sync, &active_counts, max_rounds, metrics);
+        });
+
+        for report in &reports {
+            let r = report.lock().unwrap_or_else(|e| e.into_inner());
+            metrics.messages += r.messages;
+            metrics.total_bits += r.total_bits;
+            metrics.max_message_bits = metrics.max_message_bits.max(r.max_message_bits);
+            metrics.intra_shard_messages += r.intra;
+            metrics.cross_shard_messages += r.cross;
+            metrics.shard_phase_nanos.push(r.timings);
+        }
+        sync.rethrow();
+    }
+}
+
+/// Writes `msg` into the worker-owned slot `local`, enforcing the one
+/// message per edge per round CONGEST contract.
+fn fill_shard_slot<M>(
+    slots: &mut [Option<M>],
+    local: usize,
+    msg: M,
+    sender: NodeId,
+    touched: &mut Vec<usize>,
+) {
+    let entry = &mut slots[local];
+    assert!(
+        entry.is_none(),
+        "node {sender} sent two messages over the same port in one round"
+    );
+    *entry = Some(msg);
+    touched.push(local);
+}
+
+/// Routes one node's outbox: intra-shard messages go straight into the
+/// worker's own slots, cross-shard ones onto the `shard → target` queue.
+#[allow(clippy::too_many_arguments)]
+fn route_outbox<M: MessageSize + Clone>(
+    topology: &ShardedTopology,
+    shard: usize,
+    v: NodeId,
+    outbox: Outbox<M>,
+    slots: &mut [Option<M>],
+    slot_base: usize,
+    touched: &mut Vec<usize>,
+    queues: &[Mutex<Vec<Staged<M>>>],
+    report: &mut ShardReport,
+) {
+    let shard_count = topology.num_shards();
+    let slot_end = slot_base + slots.len();
+    // The sender's shard is the calling worker's own, so every per-message
+    // lookup below skips the `shard_of` search; only cross-shard messages
+    // still resolve the receiving shard (over `S` entries).
+    let degree = topology.degree_from(shard, v);
+    let mut route_one = |p: Port, msg: M, report: &mut ShardReport| {
+        let dest = topology.dest_slot_from(shard, v, p);
+        report.record(msg.bit_size());
+        if (slot_base..slot_end).contains(&dest) {
+            report.intra += 1;
+            fill_shard_slot(slots, dest - slot_base, msg, v, touched);
+        } else {
+            report.cross += 1;
+            let target = topology.shard_of_slot(dest);
+            queues[shard * shard_count + target]
+                .lock()
+                .expect("staging queue lock")
+                .push((dest as u32, v as u32, msg));
+        }
+    };
+    match outbox {
+        Outbox::Silent => {}
+        Outbox::Broadcast(msg) => {
+            for p in 0..degree {
+                route_one(p, msg.clone(), report);
+            }
+        }
+        Outbox::PerPort(list) => {
+            for (p, msg) in list {
+                assert!(p < degree, "node {v} sent on nonexistent port {p}");
+                route_one(p, msg, report);
+            }
+        }
+    }
+}
+
+/// The per-worker half of the sharded protocol (see the [module
+/// docs](self)): owns shard `shard`'s nodes and inbox slots for the whole
+/// run.
+#[allow(clippy::too_many_arguments)]
+fn sharded_worker_loop<A: NodeAlgorithm>(
+    topology: &ShardedTopology,
+    shard: usize,
+    nodes: &mut [A],
+    contexts: &[NodeContext],
+    node_base: NodeId,
+    slots: &mut [Option<A::Message>],
+    slot_base: usize,
+    signal: &RoundSignal,
+    sync: &PhaseSync,
+    queues: &[Mutex<Vec<Staged<A::Message>>>],
+    active_count: &AtomicUsize,
+    report: &Mutex<ShardReport>,
+) {
+    let shard_count = topology.num_shards();
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new(); // shard-local slot indices
+    let mut local = ShardReport::default();
+
+    sync.guard(|| {
+        active.extend(
+            (0..nodes.len())
+                .filter(|&i| !nodes[i].is_halted())
+                .map(|i| node_base + i),
+        );
+        active_count.store(active.len(), Ordering::SeqCst);
+    });
+    if sync.sync() {
+        // ready barrier crossed: initial active counts are published
+        loop {
+            if !sync.sync() {
+                break; // A: round decision published
+            }
+            if signal.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let round = signal.round.load(Ordering::SeqCst);
+
+            // --- Send + route: clear own slots, stage this round's messages --
+            sync.guard(|| {
+                let t = Instant::now();
+                for i in touched.drain(..) {
+                    slots[i] = None;
+                }
+                for &v in &active {
+                    let ctx = NodeContext {
+                        round,
+                        ..contexts[v - node_base]
+                    };
+                    let outbox = nodes[v - node_base].send(&ctx);
+                    route_outbox(
+                        topology,
+                        shard,
+                        v,
+                        outbox,
+                        slots,
+                        slot_base,
+                        &mut touched,
+                        queues,
+                        &mut local,
+                    );
+                }
+                local.timings.send += t.elapsed().as_nanos() as u64;
+            });
+            if !sync.sync() {
+                break; // B: all routing staged
+            }
+
+            // --- Drain incoming cross-shard queues into own slots ------------
+            sync.guard(|| {
+                let t = Instant::now();
+                for from in 0..shard_count {
+                    if from == shard {
+                        continue;
+                    }
+                    let mut q = queues[from * shard_count + shard]
+                        .lock()
+                        .expect("staging queue lock");
+                    for (slot, sender, msg) in q.drain(..) {
+                        fill_shard_slot(
+                            slots,
+                            slot as usize - slot_base,
+                            msg,
+                            sender as usize,
+                            &mut touched,
+                        );
+                    }
+                }
+                local.timings.deliver += t.elapsed().as_nanos() as u64;
+            });
+            if !sync.sync() {
+                break; // C: every slot of this round is in place
+            }
+
+            // --- Receive + compact -------------------------------------------
+            sync.guard(|| {
+                let t = Instant::now();
+                for &v in &active {
+                    let ctx = NodeContext {
+                        round,
+                        ..contexts[v - node_base]
+                    };
+                    let r = topology.port_range(v);
+                    let inbox = Inbox::from_slots(&slots[r.start - slot_base..r.end - slot_base]);
+                    nodes[v - node_base].receive(&ctx, &inbox);
+                }
+                active.retain(|&v| !nodes[v - node_base].is_halted());
+                active_count.store(active.len(), Ordering::SeqCst);
+                local.timings.receive += t.elapsed().as_nanos() as u64;
+            });
+            if !sync.sync() {
+                break; // D: all receives done — coordinator decides
+            }
+        }
+    }
+
+    // Retire this worker's final-round slots before exiting: the touched
+    // list is thread-local, so anything left filled here would be invisible
+    // to `RoundState::clear_round` and leak into a reused arena as phantom
+    // messages.
+    for i in touched.drain(..) {
+        slots[i] = None;
+    }
+    *report.lock().unwrap_or_else(|e| e.into_inner()) = local;
+}
+
+/// The coordinator half of the sharded protocol: decides rounds from the
+/// published active counts and attributes the barrier-to-barrier windows to
+/// the engine phases (A→B send + intra-shard delivery, B→C cross-shard
+/// drain, C→D receive).
+fn sharded_coordinate(
+    signal: &RoundSignal,
+    sync: &PhaseSync,
+    active_counts: &[AtomicUsize],
+    max_rounds: u64,
+    metrics: &mut RunMetrics,
+) {
+    let mut round: u64 = 0;
+    if sync.sync() {
+        // ready: initial active counts are published
+        loop {
+            let mut proceed = false;
+            sync.guard(|| {
+                let total: usize = active_counts.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+                if total == 0 {
+                    signal.stop.store(true, Ordering::SeqCst);
+                } else if round >= max_rounds {
+                    metrics.hit_round_cap = true;
+                    signal.stop.store(true, Ordering::SeqCst);
+                } else {
+                    metrics.active_per_round.push(total);
+                    signal.round.store(round, Ordering::SeqCst);
+                    proceed = true;
+                }
+            });
+            if !sync.sync() {
+                break; // A
+            }
+            if !proceed {
+                break;
+            }
+
+            let t = Instant::now();
+            if !sync.sync() {
+                break; // B: send + intra-shard delivery window
+            }
+            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+
+            let t = Instant::now();
+            if !sync.sync() {
+                break; // C: cross-shard drain window
+            }
+            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+
+            let t = Instant::now();
+            if !sync.sync() {
+                break; // D: receive window
             }
             metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
 

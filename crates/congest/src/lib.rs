@@ -19,13 +19,20 @@
 //!   numbering,
 //! * [`algorithm::NodeAlgorithm`] — the per-node state machine interface
 //!   (init / send / receive / output),
-//! * [`simulator::Simulator`] — the synchronous round engine,
-//! * [`executor::Executor`] — the round-loop strategy seam, with a
-//!   sequential executor and a persistent-pool parallel executor that share
-//!   the zero-allocation [`executor::RoundState`] arena and produce
-//!   identical results,
+//! * [`simulator::Simulator`] — the synchronous round engine, generic over
+//!   the topology representation via [`topology::TopologyView`],
+//! * [`sharded::ShardedTopology`] — the same graph, edge-partitioned into
+//!   contiguous node-range shards with streaming construction, for
+//!   `n ≥ 10^7` workloads,
+//! * [`executor::Executor`] — the round-loop strategy seam: a sequential
+//!   reference executor, a persistent-pool parallel executor, and a
+//!   shard-owning [`executor::ShardedExecutor`], all sharing the
+//!   zero-allocation [`executor::RoundState`] arena and producing identical
+//!   results,
 //! * [`metrics::RunMetrics`] and [`bandwidth`] — round, message and bit
-//!   accounting so experiments can check the CONGEST `O(log n)`-bit bound.
+//!   accounting so experiments can check the CONGEST `O(log n)`-bit bound,
+//!   plus a JSON-lines writer ([`metrics::JsonLinesWriter`]) for
+//!   machine-readable experiment rows.
 //!
 //! The simulator is deterministic: given the same topology and the same
 //! (deterministic) node algorithms it always produces the same outputs,
@@ -38,12 +45,14 @@ pub mod algorithm;
 pub mod bandwidth;
 pub mod executor;
 pub mod metrics;
+pub mod sharded;
 pub mod simulator;
 pub mod topology;
 
 pub use algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 pub use bandwidth::BandwidthReport;
-pub use executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};
-pub use metrics::{PhaseTimings, RunMetrics};
+pub use executor::{Executor, PooledExecutor, RoundState, SequentialExecutor, ShardedExecutor};
+pub use metrics::{JsonLinesWriter, PhaseTimings, RunMetrics};
+pub use sharded::ShardedTopology;
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
-pub use topology::{NodeId, Port, Topology, TopologyError};
+pub use topology::{BallScratch, NodeId, Port, Topology, TopologyError, TopologyView};

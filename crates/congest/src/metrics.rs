@@ -64,6 +64,17 @@ pub struct RunMetrics {
     /// Cumulative wall-clock time per engine phase (send / deliver /
     /// receive), in nanoseconds.
     pub phase_nanos: PhaseTimings,
+    /// Messages delivered within the sender's shard.  Attributed only by the
+    /// sharded executor; zero elsewhere (`intra + cross == messages` there).
+    pub intra_shard_messages: u64,
+    /// Messages that crossed a shard boundary through a staging queue.
+    /// Attributed only by the sharded executor; zero elsewhere.
+    pub cross_shard_messages: u64,
+    /// Per-shard cumulative phase times, indexed by shard.  Filled only by
+    /// the sharded executor (empty elsewhere); like
+    /// [`RunMetrics::phase_nanos`] these are measurements, exempt from the
+    /// executor-equivalence guarantee.
+    pub shard_phase_nanos: Vec<PhaseTimings>,
 }
 
 impl RunMetrics {
@@ -85,6 +96,21 @@ impl RunMetrics {
         self.phase_nanos.send += other.phase_nanos.send;
         self.phase_nanos.deliver += other.phase_nanos.deliver;
         self.phase_nanos.receive += other.phase_nanos.receive;
+        self.intra_shard_messages += other.intra_shard_messages;
+        self.cross_shard_messages += other.cross_shard_messages;
+        if self.shard_phase_nanos.len() < other.shard_phase_nanos.len() {
+            self.shard_phase_nanos
+                .resize(other.shard_phase_nanos.len(), PhaseTimings::default());
+        }
+        for (mine, theirs) in self
+            .shard_phase_nanos
+            .iter_mut()
+            .zip(&other.shard_phase_nanos)
+        {
+            mine.send += theirs.send;
+            mine.deliver += theirs.deliver;
+            mine.receive += theirs.receive;
+        }
     }
 
     /// Average message size in bits (0 if no messages were sent).
@@ -94,6 +120,113 @@ impl RunMetrics {
         } else {
             self.total_bits as f64 / self.messages as f64
         }
+    }
+
+    /// Renders the metrics as one JSON object tagged with `label`.
+    ///
+    /// This is the first concrete serialization format of the workspace (the
+    /// vendored `serde` is a marker-only stub, so the encoding is written
+    /// out by hand; when real `serde` lands this becomes a derive).  The
+    /// field names match the struct fields one-to-one, so rows stay parseable
+    /// across versions that only add fields.
+    pub fn to_json(&self, label: &str) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"label\":\"");
+        json_escape_into(&mut out, label);
+        out.push('"');
+        out.push_str(&format!(",\"rounds\":{}", self.rounds));
+        out.push_str(&format!(",\"messages\":{}", self.messages));
+        out.push_str(&format!(",\"total_bits\":{}", self.total_bits));
+        out.push_str(&format!(",\"max_message_bits\":{}", self.max_message_bits));
+        out.push_str(&format!(",\"hit_round_cap\":{}", self.hit_round_cap));
+        out.push_str(&format!(
+            ",\"intra_shard_messages\":{}",
+            self.intra_shard_messages
+        ));
+        out.push_str(&format!(
+            ",\"cross_shard_messages\":{}",
+            self.cross_shard_messages
+        ));
+        out.push_str(",\"active_per_round\":[");
+        for (i, a) in self.active_per_round.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push(']');
+        out.push_str(",\"phase_nanos\":");
+        self.phase_nanos.json_into(&mut out);
+        out.push_str(",\"shard_phase_nanos\":[");
+        for (i, t) in self.shard_phase_nanos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            t.json_into(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl PhaseTimings {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"send\":{},\"deliver\":{},\"receive\":{}}}",
+            self.send, self.deliver, self.receive
+        ));
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping applied (quotes,
+/// backslashes, control characters) — **without** the surrounding quotes.
+///
+/// Shared by every hand-rolled JSON emitter in the workspace (this module,
+/// `dcme_bench`'s table rows) so the escaping rules live in one place until
+/// real `serde` replaces them.
+pub fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends [`RunMetrics`] rows to any `Write` sink as [JSON
+/// lines](https://jsonlines.org) — one self-contained JSON object per line,
+/// so experiment binaries can accumulate machine-readable results across
+/// runs (`exp_* --jsonl out.jsonl`, or `DCME_METRICS_JSONL=out.jsonl` for
+/// the benches) and post-process them with standard tooling.
+#[derive(Debug)]
+pub struct JsonLinesWriter<W: std::io::Write> {
+    inner: W,
+}
+
+impl<W: std::io::Write> JsonLinesWriter<W> {
+    /// Wraps a sink; rows are appended with [`JsonLinesWriter::append`].
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Writes one `label`-tagged metrics row, newline-terminated.
+    pub fn append(&mut self, label: &str, metrics: &RunMetrics) -> std::io::Result<()> {
+        self.inner.write_all(metrics.to_json(label).as_bytes())?;
+        self.inner.write_all(b"\n")
+    }
+
+    /// Writes one pre-rendered JSON object (for callers with their own row
+    /// shape, e.g. table rows), newline-terminated.
+    pub fn append_raw(&mut self, json_object: &str) -> std::io::Result<()> {
+        self.inner.write_all(json_object.as_bytes())?;
+        self.inner.write_all(b"\n")
+    }
+
+    /// Unwraps the sink (flushing is the sink's business).
+    pub fn into_inner(self) -> W {
+        self.inner
     }
 }
 
@@ -129,5 +262,86 @@ mod tests {
     #[test]
     fn empty_metrics_mean_is_zero() {
         assert_eq!(RunMetrics::default().mean_message_bits(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_shard_attribution() {
+        let mut a = RunMetrics {
+            intra_shard_messages: 3,
+            cross_shard_messages: 1,
+            shard_phase_nanos: vec![PhaseTimings {
+                send: 1,
+                deliver: 2,
+                receive: 3,
+            }],
+            ..RunMetrics::default()
+        };
+        let b = RunMetrics {
+            intra_shard_messages: 5,
+            cross_shard_messages: 7,
+            shard_phase_nanos: vec![
+                PhaseTimings {
+                    send: 10,
+                    deliver: 20,
+                    receive: 30,
+                },
+                PhaseTimings {
+                    send: 100,
+                    deliver: 200,
+                    receive: 300,
+                },
+            ],
+            ..RunMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.intra_shard_messages, 8);
+        assert_eq!(a.cross_shard_messages, 8);
+        assert_eq!(a.shard_phase_nanos.len(), 2);
+        assert_eq!(a.shard_phase_nanos[0].send, 11);
+        assert_eq!(a.shard_phase_nanos[1].receive, 300);
+    }
+
+    #[test]
+    fn json_line_is_complete_and_escaped() {
+        let mut m = RunMetrics::default();
+        m.record_message(10);
+        m.rounds = 2;
+        m.active_per_round = vec![3, 1];
+        m.intra_shard_messages = 1;
+        m.shard_phase_nanos = vec![PhaseTimings {
+            send: 4,
+            deliver: 5,
+            receive: 6,
+        }];
+        let line = m.to_json("ring \"q\"\\n=3");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"label\":\"ring \\\"q\\\"\\\\n=3\""));
+        assert!(line.contains("\"rounds\":2"));
+        assert!(line.contains("\"messages\":1"));
+        assert!(line.contains("\"total_bits\":10"));
+        assert!(line.contains("\"hit_round_cap\":false"));
+        assert!(line.contains("\"active_per_round\":[3,1]"));
+        assert!(line.contains("\"intra_shard_messages\":1"));
+        assert!(line.contains("\"cross_shard_messages\":0"));
+        assert!(line.contains("\"shard_phase_nanos\":[{\"send\":4,\"deliver\":5,\"receive\":6}]"));
+        // Balanced braces/brackets — a cheap well-formedness check given the
+        // workspace has no JSON parser to round-trip with.
+        assert_eq!(line.matches('{').count(), line.matches('}').count(),);
+        assert_eq!(line.matches('[').count(), line.matches(']').count());
+    }
+
+    #[test]
+    fn jsonl_writer_appends_newline_terminated_rows() {
+        let mut w = JsonLinesWriter::new(Vec::new());
+        w.append("a", &RunMetrics::default()).unwrap();
+        w.append("b", &RunMetrics::default()).unwrap();
+        w.append_raw("{\"custom\":true}").unwrap();
+        let buf = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<&str> = buf.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"label\":\"a\""));
+        assert!(lines[1].contains("\"label\":\"b\""));
+        assert_eq!(lines[2], "{\"custom\":true}");
+        assert!(buf.ends_with('\n'));
     }
 }

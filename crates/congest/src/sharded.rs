@@ -1,0 +1,588 @@
+//! Edge-partitioned sharded topology for `n ≥ 10^7` graphs.
+//!
+//! [`ShardedTopology`] stores the same port-numbered communication graph as
+//! [`Topology`], but partitioned into `S` contiguous
+//! node-range *shards*, each holding its own CSR slice.  The representation
+//! is built for two things the single-arena [`Topology`] cannot do at the
+//! `n ≥ 10^7` scale the ROADMAP targets:
+//!
+//! * **Streaming construction** — [`ShardedTopology::from_edge_stream`]
+//!   consumes the edge list as a replayable *stream* (two passes: degree
+//!   counting, then CSR fill), so peak memory is the final CSR itself; no
+//!   global `Vec<(NodeId, NodeId)>` or hash-set of edges is ever
+//!   materialised.
+//! * **Shard ownership** — every shard owns a contiguous range of nodes
+//!   *and* the contiguous range of inbox slots of exactly those nodes, so
+//!   the [`ShardedExecutor`](crate::executor::ShardedExecutor) can give each
+//!   worker thread exclusive, lock-free ownership of one shard's slots and
+//!   exchange only cross-shard messages through staging queues.
+//!
+//! # Shard layout
+//!
+//! Nodes are split into `S` contiguous ranges chosen to balance
+//! `deg(v) + 1` (directed edges plus active-set weight) across shards:
+//!
+//! ```text
+//! nodes:  [0 ─────────┬──────────┬───────────── n)
+//!          shard 0    shard 1    shard 2
+//! slots:  [0 ─────────┬──────────┬───────────── 2m)
+//!          slots of    slots of   slots of
+//!          shard 0's   shard 1's  shard 2's
+//!          nodes       nodes      nodes
+//! ```
+//!
+//! Because the flat slot contract of
+//! [`TopologyView`] assigns slot ranges in
+//! ascending node order, the shard's node range induces its slot range; both
+//! are recorded in prefix arrays (`node_start` / `slot_start`).
+//!
+//! # The cross-shard port remap table
+//!
+//! Delivering a message sent by `v` over port `p` requires the *global slot*
+//! of the receiving endpoint — which generally lives in another shard's CSR.
+//! Each shard therefore precomputes, for every outgoing directed edge, the
+//! destination slot ([`ShardedTopology::dest_slot`]): senders never chase
+//! another shard's offsets at delivery time, they look up one `u32` and
+//! either write the slot directly (intra-shard) or enqueue the pair
+//! `(slot, message)` for the owning worker (cross-shard).
+//!
+//! # Compact indexing
+//!
+//! Neighbour ids, reverse ports and destination slots are stored as `u32`
+//! (half the memory of the `usize`-based [`Topology`] —
+//! the difference between fitting a `10^7`-node graph in RAM or not).
+//! Graphs whose node count or directed-edge count exceeds `u32::MAX` are
+//! rejected with [`TopologyError::NodeRangeOverflow`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{NodeId, Port, Topology, TopologyError, TopologyView};
+
+/// The largest node count / directed-edge count the compact `u32`
+/// representation can index.
+const INDEX_LIMIT: usize = u32::MAX as usize;
+
+/// One shard's CSR slice: the adjacency of a contiguous node range.
+///
+/// All offsets are *local* (relative to the shard's first slot); global
+/// slots are `slot_start[s] + local`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ShardCsr {
+    /// Local CSR offsets: the ports of the shard's `i`-th node occupy local
+    /// slots `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<usize>,
+    /// Neighbour (global) node ids, sorted per node.
+    adjacency: Vec<u32>,
+    /// For each outgoing directed edge, the port at which the sender appears
+    /// in the receiver's port list.
+    reverse_port: Vec<u32>,
+    /// The port remap table: for each outgoing directed edge, the *global*
+    /// inbox slot of the receiving endpoint.
+    dest_slot: Vec<u32>,
+}
+
+/// An edge-partitioned, port-numbered communication graph (see the
+/// [module docs](self) for the layout).
+///
+/// Implements [`TopologyView`], so it runs under every executor; the
+/// [`ShardedExecutor`](crate::executor::ShardedExecutor) additionally
+/// exploits the shard structure for parallel delivery.
+///
+/// # Examples
+///
+/// ```
+/// use dcme_congest::{ShardedTopology, TopologyView};
+/// // A triangle, split into 2 shards.
+/// let g = ShardedTopology::from_edge_stream(3, 2, |emit| {
+///     emit(0, 1);
+///     emit(1, 2);
+///     emit(2, 0);
+/// })
+/// .unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_shards(), 2);
+/// assert_eq!(g.num_directed_edges(), 6);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedTopology {
+    n: usize,
+    num_edges: usize,
+    max_degree: u32,
+    /// Shard `s` owns nodes `node_start[s]..node_start[s + 1]` (length
+    /// `S + 1`, ascending, `node_start[S] == n`).
+    node_start: Vec<usize>,
+    /// Shard `s` owns flat slots `slot_start[s]..slot_start[s + 1]`.
+    slot_start: Vec<usize>,
+    shards: Vec<ShardCsr>,
+}
+
+impl ShardedTopology {
+    /// Builds a sharded topology from a replayable edge stream.
+    ///
+    /// `stream` is invoked exactly **twice** and must emit the same sequence
+    /// of undirected edges on both invocations (pass 1 counts degrees and
+    /// chooses shard boundaries, pass 2 fills the per-shard CSR slices).
+    /// Deterministic generators satisfy this by construction; randomized
+    /// ones by re-seeding their RNG inside the closure.
+    ///
+    /// Peak memory is the final CSR plus `O(n)` scratch — the edge list is
+    /// never materialised.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::ShardCountZero`] if `num_shards == 0`;
+    /// * [`TopologyError::NodeRangeOverflow`] if `n` or the directed-edge
+    ///   count exceeds `u32::MAX`;
+    /// * [`TopologyError::NodeOutOfRange`] / [`TopologyError::SelfLoop`] /
+    ///   [`TopologyError::DuplicateEdge`] exactly as
+    ///   [`Topology::from_edges`] reports them.
+    pub fn from_edge_stream<F>(
+        n: usize,
+        num_shards: usize,
+        mut stream: F,
+    ) -> Result<Self, TopologyError>
+    where
+        F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    {
+        if num_shards == 0 {
+            return Err(TopologyError::ShardCountZero);
+        }
+        if n > INDEX_LIMIT {
+            return Err(TopologyError::NodeRangeOverflow {
+                value: n,
+                limit: INDEX_LIMIT,
+            });
+        }
+
+        // --- Pass 1: validate endpoints, count degrees ------------------
+        let mut degree: Vec<u32> = vec![0; n];
+        let mut num_edges: usize = 0;
+        let mut first_error: Option<TopologyError> = None;
+        stream(&mut |u: NodeId, v: NodeId| {
+            if first_error.is_some() {
+                return;
+            }
+            if u >= n || v >= n {
+                let node = if u >= n { u } else { v };
+                first_error = Some(TopologyError::NodeOutOfRange { node, n });
+                return;
+            }
+            if u == v {
+                first_error = Some(TopologyError::SelfLoop(u));
+                return;
+            }
+            if 2 * (num_edges + 1) > INDEX_LIMIT {
+                first_error = Some(TopologyError::NodeRangeOverflow {
+                    value: 2 * (num_edges + 1),
+                    limit: INDEX_LIMIT,
+                });
+                return;
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+            num_edges += 1;
+        });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // --- Shard boundaries: balance deg(v) + 1 per shard -------------
+        // The weight deg(v) + 1 balances both slot ownership (delivery
+        // work) and node ownership (send/receive work); the +1 also keeps
+        // the split sensible on edgeless graphs.
+        let total_weight = 2 * num_edges + n;
+        let mut node_start = Vec::with_capacity(num_shards + 1);
+        let mut slot_start = Vec::with_capacity(num_shards + 1);
+        node_start.push(0);
+        slot_start.push(0);
+        let mut acc_weight: usize = 0;
+        let mut acc_slots: usize = 0;
+        let mut next_cut = 1usize;
+        for (v, &d) in degree.iter().enumerate().take(n) {
+            acc_weight += d as usize + 1;
+            acc_slots += d as usize;
+            // Close shard `next_cut - 1` once its fair share of weight is
+            // reached; several cuts can land on one node for tiny graphs.
+            while next_cut < num_shards && acc_weight * num_shards >= next_cut * total_weight {
+                node_start.push(v + 1);
+                slot_start.push(acc_slots);
+                next_cut += 1;
+            }
+        }
+        // Degenerate graphs (or more shards than weight): pad with empty
+        // shards at the end.
+        while node_start.len() < num_shards {
+            node_start.push(n);
+            slot_start.push(2 * num_edges);
+        }
+        node_start.push(n);
+        slot_start.push(2 * num_edges);
+
+        // --- Local CSR offsets per shard --------------------------------
+        let mut shards: Vec<ShardCsr> = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let nodes = node_start[s]..node_start[s + 1];
+            let mut offsets = Vec::with_capacity(nodes.len() + 1);
+            offsets.push(0usize);
+            for v in nodes {
+                offsets.push(offsets.last().unwrap() + degree[v] as usize);
+            }
+            let slots = offsets[offsets.len() - 1];
+            shards.push(ShardCsr {
+                offsets,
+                adjacency: vec![0u32; slots],
+                reverse_port: vec![0u32; slots],
+                dest_slot: vec![0u32; slots],
+            });
+        }
+
+        // --- Pass 2: fill adjacency -------------------------------------
+        // `cursor[v]` is the next free port of `v`; the degree buffer is
+        // reused as the cursor (filled entries count back up to degree).
+        let shard_of = |node_start: &[usize], v: NodeId| -> usize {
+            node_start.partition_point(|&s| s <= v) - 1
+        };
+        let mut cursor: Vec<u32> = vec![0; n];
+        stream(&mut |u: NodeId, v: NodeId| {
+            for (a, b) in [(u, v), (v, u)] {
+                let s = shard_of(&node_start[..=num_shards], a);
+                let local = shards[s].offsets[a - node_start[s]] + cursor[a] as usize;
+                shards[s].adjacency[local] = b as u32;
+                cursor[a] += 1;
+            }
+        });
+        debug_assert!(
+            cursor.iter().zip(&degree).all(|(c, d)| c == d),
+            "pass 2 must replay exactly the edges of pass 1"
+        );
+
+        // --- Sort per-node port lists, reject duplicate edges ------------
+        for s in 0..num_shards {
+            for i in 0..node_start[s + 1] - node_start[s] {
+                let (lo, hi) = (shards[s].offsets[i], shards[s].offsets[i + 1]);
+                let ports = &mut shards[s].adjacency[lo..hi];
+                ports.sort_unstable();
+                if let Some(w) = ports.windows(2).find(|w| w[0] == w[1]) {
+                    let v = node_start[s] + i;
+                    let u = w[0] as usize;
+                    return Err(TopologyError::DuplicateEdge(v.min(u), v.max(u)));
+                }
+            }
+        }
+
+        // --- Reverse ports + the cross-shard port remap table ------------
+        for s in 0..num_shards {
+            for i in 0..node_start[s + 1] - node_start[s] {
+                let v = node_start[s] + i;
+                for local in shards[s].offsets[i]..shards[s].offsets[i + 1] {
+                    let u = shards[s].adjacency[local] as usize;
+                    let su = shard_of(&node_start[..=num_shards], u);
+                    let u_local = u - node_start[su];
+                    let (lo, hi) = (shards[su].offsets[u_local], shards[su].offsets[u_local + 1]);
+                    let rp = shards[su].adjacency[lo..hi]
+                        .binary_search(&(v as u32))
+                        .expect("undirected edge must appear in both port lists");
+                    let dest = slot_start[su] + lo + rp;
+                    // Borrow dance: `shards[s]` and `shards[su]` may alias.
+                    let shard = &mut shards[s];
+                    shard.reverse_port[local] = rp as u32;
+                    shard.dest_slot[local] = dest as u32;
+                }
+            }
+        }
+
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        Ok(Self {
+            n,
+            num_edges,
+            max_degree,
+            node_start,
+            slot_start,
+            shards,
+        })
+    }
+
+    /// Shards an already-built [`Topology`] (mainly for tests and for
+    /// workloads whose graph already fits in one arena).
+    ///
+    /// The result is structurally identical to the source: same port
+    /// numbering, same flat slot contract, so runs are bit-for-bit
+    /// reproducible across the two representations.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::ShardCountZero`] and
+    /// [`TopologyError::NodeRangeOverflow`] as in
+    /// [`ShardedTopology::from_edge_stream`]; the edge list itself is
+    /// already validated.
+    pub fn from_topology(topology: &Topology, num_shards: usize) -> Result<Self, TopologyError> {
+        Self::from_edge_stream(topology.num_nodes(), num_shards, |emit| {
+            for (u, v) in topology.edges() {
+                emit(u, v);
+            }
+        })
+    }
+
+    /// Number of shards `S`.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The contiguous node range owned by shard `s`.
+    #[inline]
+    pub fn shard_nodes(&self, s: usize) -> core::ops::Range<NodeId> {
+        self.node_start[s]..self.node_start[s + 1]
+    }
+
+    /// The contiguous flat-slot range owned by shard `s` (the inbox slots of
+    /// exactly the nodes in [`ShardedTopology::shard_nodes`]).
+    #[inline]
+    pub fn shard_slots(&self, s: usize) -> core::ops::Range<usize> {
+        self.slot_start[s]..self.slot_start[s + 1]
+    }
+
+    /// The shard owning node `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.node_start.partition_point(|&s| s <= v) - 1
+    }
+
+    /// The shard owning flat slot `slot`.
+    #[inline]
+    pub fn shard_of_slot(&self, slot: usize) -> usize {
+        self.slot_start.partition_point(|&s| s <= slot) - 1
+    }
+
+    /// The global inbox slot that a message sent by `v` over port `p` lands
+    /// in — one lookup in the precomputed port remap table.
+    #[inline]
+    pub fn dest_slot(&self, v: NodeId, p: Port) -> usize {
+        self.dest_slot_from(self.shard_of(v), v, p)
+    }
+
+    /// [`ShardedTopology::dest_slot`] with the sender's shard already known
+    /// — the sharded executor's per-message hot path, where `v` always
+    /// belongs to the calling worker's shard, skips the `shard_of` search.
+    #[inline]
+    pub fn dest_slot_from(&self, shard: usize, v: NodeId, p: Port) -> usize {
+        debug_assert_eq!(self.shard_of(v), shard);
+        let csr = &self.shards[shard];
+        let local = csr.offsets[v - self.node_start[shard]] + p;
+        csr.dest_slot[local] as usize
+    }
+
+    /// Degree of `v` with its shard already known (see
+    /// [`ShardedTopology::dest_slot_from`]).
+    #[inline]
+    pub fn degree_from(&self, shard: usize, v: NodeId) -> usize {
+        debug_assert_eq!(self.shard_of(v), shard);
+        let csr = &self.shards[shard];
+        let i = v - self.node_start[shard];
+        csr.offsets[i + 1] - csr.offsets[i]
+    }
+
+    #[inline]
+    fn locate(&self, v: NodeId) -> (&ShardCsr, usize) {
+        let s = self.shard_of(v);
+        (&self.shards[s], v - self.node_start[s])
+    }
+}
+
+impl TopologyView for ShardedTopology {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_directed_edges(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    #[inline]
+    fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        let (shard, i) = self.locate(v);
+        shard.offsets[i + 1] - shard.offsets[i]
+    }
+
+    #[inline]
+    fn neighbor_at(&self, v: NodeId, p: Port) -> NodeId {
+        let (shard, i) = self.locate(v);
+        shard.adjacency[shard.offsets[i] + p] as NodeId
+    }
+
+    #[inline]
+    fn reverse_port(&self, v: NodeId, p: Port) -> Port {
+        let (shard, i) = self.locate(v);
+        shard.reverse_port[shard.offsets[i] + p] as Port
+    }
+
+    #[inline]
+    fn port_range(&self, v: NodeId) -> core::ops::Range<usize> {
+        let s = self.shard_of(v);
+        let shard = &self.shards[s];
+        let i = v - self.node_start[s];
+        let base = self.slot_start[s];
+        base + shard.offsets[i]..base + shard.offsets[i + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts the sharded and dense representations describe the exact
+    /// same port-numbered graph (same flat slot contract included).
+    fn assert_same_structure(dense: &Topology, sharded: &ShardedTopology) {
+        assert_eq!(sharded.num_nodes(), dense.num_nodes());
+        assert_eq!(sharded.num_edges(), dense.num_edges());
+        assert_eq!(sharded.num_directed_edges(), dense.num_directed_edges());
+        assert_eq!(TopologyView::max_degree(sharded), dense.max_degree());
+        for v in dense.nodes() {
+            assert_eq!(TopologyView::degree(sharded, v), dense.degree(v), "v={v}");
+            assert_eq!(
+                TopologyView::port_range(sharded, v),
+                dense.port_range(v),
+                "v={v}"
+            );
+            for p in 0..dense.degree(v) {
+                assert_eq!(
+                    TopologyView::neighbor_at(sharded, v, p),
+                    dense.neighbor_at(v, p)
+                );
+                assert_eq!(
+                    TopologyView::reverse_port(sharded, v, p),
+                    dense.reverse_port(v, p)
+                );
+                let u = dense.neighbor_at(v, p);
+                let rp = dense.reverse_port(v, p);
+                assert_eq!(sharded.dest_slot(v, p), dense.port_range(u).start + rp);
+            }
+        }
+    }
+
+    fn ring_edges(n: usize) -> Vec<(NodeId, NodeId)> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn matches_dense_topology_for_every_shard_count() {
+        let edges = ring_edges(13);
+        let dense = Topology::from_edges(13, &edges).unwrap();
+        for s in [1, 2, 3, 5, 13, 20] {
+            let sharded = ShardedTopology::from_topology(&dense, s).unwrap();
+            assert_eq!(sharded.num_shards(), s);
+            assert_same_structure(&dense, &sharded);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_nodes_and_slots() {
+        let edges = ring_edges(17);
+        let dense = Topology::from_edges(17, &edges).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 4).unwrap();
+        let mut node_cover = 0;
+        let mut slot_cover = 0;
+        for s in 0..g.num_shards() {
+            let nodes = g.shard_nodes(s);
+            let slots = g.shard_slots(s);
+            assert_eq!(nodes.start, node_cover);
+            assert_eq!(slots.start, slot_cover);
+            node_cover = nodes.end;
+            slot_cover = slots.end;
+            for v in nodes {
+                assert_eq!(g.shard_of(v), s);
+                let pr = TopologyView::port_range(&g, v);
+                assert!(pr.start >= g.shard_slots(s).start && pr.end <= g.shard_slots(s).end);
+                for slot in pr {
+                    assert_eq!(g.shard_of_slot(slot), s);
+                }
+            }
+        }
+        assert_eq!(node_cover, 17);
+        assert_eq!(slot_cover, g.num_directed_edges());
+    }
+
+    #[test]
+    fn streaming_construction_matches_from_topology() {
+        let edges = ring_edges(9);
+        let dense = Topology::from_edges(9, &edges).unwrap();
+        let via_stream = ShardedTopology::from_edge_stream(9, 3, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        })
+        .unwrap();
+        let via_topology = ShardedTopology::from_topology(&dense, 3).unwrap();
+        assert_eq!(via_stream, via_topology);
+    }
+
+    #[test]
+    fn star_hub_weight_is_handled() {
+        // A star concentrates all edges at node 0: shard 0 gets the hub,
+        // later shards share the leaves; the structure must still match.
+        let edges: Vec<_> = (1..=40).map(|v| (0, v)).collect();
+        let dense = Topology::from_edges(41, &edges).unwrap();
+        for s in [2, 3, 8] {
+            let sharded = ShardedTopology::from_topology(&dense, s).unwrap();
+            assert_same_structure(&dense, &sharded);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = ShardedTopology::from_edge_stream(0, 3, |_| {}).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_directed_edges(), 0);
+        let g = ShardedTopology::from_edge_stream(5, 2, |_| {}).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(TopologyView::max_degree(&g), 0);
+        for v in 0..5 {
+            assert_eq!(TopologyView::degree(&g, v), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_streams() {
+        assert_eq!(
+            ShardedTopology::from_edge_stream(3, 0, |_| {}),
+            Err(TopologyError::ShardCountZero)
+        );
+        assert!(matches!(
+            ShardedTopology::from_edge_stream(3, 2, |emit| emit(0, 3)),
+            Err(TopologyError::NodeOutOfRange { node: 3, n: 3 })
+        ));
+        assert!(matches!(
+            ShardedTopology::from_edge_stream(3, 2, |emit| emit(1, 1)),
+            Err(TopologyError::SelfLoop(1))
+        ));
+        assert!(matches!(
+            ShardedTopology::from_edge_stream(3, 2, |emit| {
+                emit(0, 1);
+                emit(1, 0);
+            }),
+            Err(TopologyError::DuplicateEdge(0, 1))
+        ));
+    }
+
+    #[test]
+    fn rejects_node_range_overflow() {
+        assert!(matches!(
+            ShardedTopology::from_edge_stream(INDEX_LIMIT + 1, 2, |_| {}),
+            Err(TopologyError::NodeRangeOverflow { .. })
+        ));
+    }
+}

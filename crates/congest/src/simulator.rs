@@ -4,7 +4,8 @@
 //! [`NodeAlgorithm`] instance per vertex) through synchronous rounds until
 //! every node has halted or a configurable round cap is reached.  The round
 //! loop itself is delegated to an [`Executor`] — see [`crate::executor`] for
-//! the zero-allocation [`RoundState`] arena and the two shipped strategies:
+//! the zero-allocation [`RoundState`] arena and the three shipped
+//! strategies:
 //!
 //! * [`SequentialExecutor`] — the reference implementation; trivially
 //!   deterministic.
@@ -13,6 +14,9 @@
 //!   depend only on state from the previous round and receives only touch
 //!   node-local state, the result is bit-for-bit identical to the sequential
 //!   executor (asserted by unit and integration tests).
+//! * [`ShardedExecutor`](crate::executor::ShardedExecutor) — one worker per
+//!   shard of a [`ShardedTopology`](crate::sharded::ShardedTopology), driven
+//!   through [`Simulator::run_with_executor`]; same bit-for-bit guarantee.
 //!
 //! The engine also performs CONGEST accounting: every transmitted message is
 //! charged its [`crate::MessageSize::bit_size`] — including messages addressed to
@@ -24,7 +28,7 @@
 use crate::algorithm::{NodeAlgorithm, NodeContext};
 use crate::executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};
 use crate::metrics::RunMetrics;
-use crate::topology::Topology;
+use crate::topology::{Topology, TopologyView};
 
 /// How rounds are executed.
 ///
@@ -72,14 +76,21 @@ pub struct RunOutcome<O> {
 }
 
 /// The synchronous round engine for a fixed topology.
-pub struct Simulator<'a> {
-    topology: &'a Topology,
+///
+/// Generic over the topology representation: the default `T = Topology` is
+/// the single-arena CSR; pass a
+/// [`ShardedTopology`](crate::sharded::ShardedTopology) to run on the
+/// edge-partitioned representation (any executor works on it; the
+/// [`ShardedExecutor`](crate::executor::ShardedExecutor) additionally
+/// exploits the shard layout via [`Simulator::run_with_executor`]).
+pub struct Simulator<'a, T: TopologyView = Topology> {
+    topology: &'a T,
     config: SimulatorConfig,
 }
 
-impl<'a> Simulator<'a> {
+impl<'a, T: TopologyView> Simulator<'a, T> {
     /// Creates a simulator with the default (sequential) configuration.
-    pub fn new(topology: &'a Topology) -> Self {
+    pub fn new(topology: &'a T) -> Self {
         Self {
             topology,
             config: SimulatorConfig::default(),
@@ -87,12 +98,12 @@ impl<'a> Simulator<'a> {
     }
 
     /// Creates a simulator with an explicit configuration.
-    pub fn with_config(topology: &'a Topology, config: SimulatorConfig) -> Self {
+    pub fn with_config(topology: &'a T, config: SimulatorConfig) -> Self {
         Self { topology, config }
     }
 
     /// The topology this simulator runs on.
-    pub fn topology(&self) -> &Topology {
+    pub fn topology(&self) -> &T {
         self.topology
     }
 
@@ -118,15 +129,17 @@ impl<'a> Simulator<'a> {
 
     /// Runs the algorithm under an explicit [`Executor`] strategy.
     ///
-    /// This is the seam future execution backends (e.g. an edge-partitioned
-    /// sharded topology) plug into without touching [`Simulator::run`]
-    /// callers.  The configuration's [`ExecutionMode`] is ignored; its
-    /// `max_rounds` still applies.
+    /// This is the seam execution backends plug into without touching
+    /// [`Simulator::run`] callers — the
+    /// [`ShardedExecutor`](crate::executor::ShardedExecutor) is driven this
+    /// way (it implements `Executor<ShardedTopology>` only).  The
+    /// configuration's [`ExecutionMode`] is ignored; its `max_rounds` still
+    /// applies.
     ///
     /// # Panics
     ///
     /// Same contract as [`Simulator::run`].
-    pub fn run_with_executor<A: NodeAlgorithm, E: Executor>(
+    pub fn run_with_executor<A: NodeAlgorithm, E: Executor<T>>(
         &self,
         mut nodes: Vec<A>,
         executor: &E,
@@ -234,15 +247,15 @@ mod tests {
         }
     }
 
-    /// Asserts sequential/pooled bit-for-bit equivalence on one workload.
+    /// Asserts sequential/pooled/sharded bit-for-bit equivalence on one
+    /// workload (`threads` worker threads, and shard counts 1–3).
     fn assert_equivalent(g: &Topology, ttls: &[u64], threads: usize) {
-        let mk = |g: &Topology, ttls: &[u64]| -> Vec<GossipSum> {
-            (0..g.num_nodes())
-                .map(|v| GossipSum::new(ttls[v]))
-                .collect()
+        let mk = |n: usize, ttls: &[u64]| -> Vec<GossipSum> {
+            (0..n).map(|v| GossipSum::new(ttls[v])).collect()
         };
-        let seq = Simulator::new(g).run(mk(g, ttls));
-        let par = Simulator::with_config(g, parallel_config(threads)).run(mk(g, ttls));
+        let n = g.num_nodes();
+        let seq = Simulator::new(g).run(mk(n, ttls));
+        let par = Simulator::with_config(g, parallel_config(threads)).run(mk(n, ttls));
         assert_eq!(seq.outputs, par.outputs, "threads={threads}");
         assert_eq!(seq.metrics.rounds, par.metrics.rounds);
         assert_eq!(seq.metrics.messages, par.metrics.messages);
@@ -250,6 +263,28 @@ mod tests {
         assert_eq!(seq.metrics.max_message_bits, par.metrics.max_message_bits);
         assert_eq!(seq.metrics.active_per_round, par.metrics.active_per_round);
         assert_eq!(seq.metrics.hit_round_cap, par.metrics.hit_round_cap);
+        for shards in [1, 2, 3] {
+            let sg = crate::sharded::ShardedTopology::from_topology(g, shards).unwrap();
+            let out = Simulator::new(&sg)
+                .run_with_executor(mk(n, ttls), &crate::executor::ShardedExecutor::new());
+            assert_eq!(seq.outputs, out.outputs, "shards={shards}");
+            assert_eq!(seq.metrics.rounds, out.metrics.rounds, "shards={shards}");
+            assert_eq!(seq.metrics.messages, out.metrics.messages);
+            assert_eq!(seq.metrics.total_bits, out.metrics.total_bits);
+            assert_eq!(seq.metrics.max_message_bits, out.metrics.max_message_bits);
+            assert_eq!(seq.metrics.active_per_round, out.metrics.active_per_round);
+            assert_eq!(seq.metrics.hit_round_cap, out.metrics.hit_round_cap);
+            // The sharded executor fully attributes every message.
+            assert_eq!(
+                out.metrics.intra_shard_messages + out.metrics.cross_shard_messages,
+                out.metrics.messages,
+                "shards={shards}"
+            );
+            assert_eq!(out.metrics.shard_phase_nanos.len(), shards);
+            if shards == 1 {
+                assert_eq!(out.metrics.cross_shard_messages, 0);
+            }
+        }
     }
 
     #[test]
@@ -549,6 +584,175 @@ mod tests {
             assert!(p.send > 0 && p.deliver > 0 && p.receive > 0);
             assert!(p.total() >= p.send);
         }
+    }
+
+    #[test]
+    fn sharded_round_cap_and_empty_graph() {
+        use crate::executor::ShardedExecutor;
+        use crate::sharded::ShardedTopology;
+        let g = ShardedTopology::from_topology(&triangle(), 2).unwrap();
+        let sim = Simulator::with_config(
+            &g,
+            SimulatorConfig {
+                max_rounds: 3,
+                mode: ExecutionMode::Sequential, // ignored by the seam
+            },
+        );
+        let out = sim.run_with_executor(
+            (0..3).map(|_| GossipSum::new(u64::MAX)).collect::<Vec<_>>(),
+            &ShardedExecutor::new(),
+        );
+        assert_eq!(out.metrics.rounds, 3);
+        assert!(out.metrics.hit_round_cap);
+
+        let empty = ShardedTopology::from_edge_stream(0, 3, |_| {}).unwrap();
+        let out = Simulator::new(&empty)
+            .run_with_executor(Vec::<GossipSum>::new(), &ShardedExecutor::new());
+        assert_eq!(out.metrics.rounds, 0);
+        assert!(out.outputs.is_empty());
+    }
+
+    #[test]
+    fn sharded_attributes_cross_vs_intra_messages() {
+        use crate::executor::ShardedExecutor;
+        use crate::sharded::ShardedTopology;
+        // A 6-ring in 2 shards of 3 nodes: per round, each shard's interior
+        // node talks only intra-shard, the two border nodes each send one
+        // message across — 4 cross + 8 intra per round.
+        let n = 6;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let dense = Topology::from_edges(n, &edges).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        assert_eq!(g.shard_nodes(0), 0..3);
+        let out = Simulator::new(&g).run_with_executor(
+            (0..n).map(|_| GossipSum::new(2)).collect::<Vec<_>>(),
+            &ShardedExecutor::new(),
+        );
+        assert_eq!(out.metrics.rounds, 2);
+        assert_eq!(out.metrics.messages, 24);
+        assert_eq!(out.metrics.cross_shard_messages, 8);
+        assert_eq!(out.metrics.intra_shard_messages, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm exploded")]
+    fn sharded_propagates_algorithm_panics() {
+        use crate::executor::ShardedExecutor;
+        use crate::sharded::ShardedTopology;
+        let n = 8;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let dense = Topology::from_edges(n, &edges).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 3).unwrap();
+        let _ = Simulator::new(&g).run_with_executor(
+            (0..n).map(|_| PanicsAtRoundOne).collect::<Vec<_>>(),
+            &ShardedExecutor::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages over the same port")]
+    fn sharded_propagates_delivery_panics() {
+        use crate::executor::ShardedExecutor;
+        use crate::sharded::ShardedTopology;
+        let dense = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        let _ = Simulator::new(&g)
+            .run_with_executor(vec![DoubleSend, DoubleSend], &ShardedExecutor::new());
+    }
+
+    #[test]
+    fn sharded_run_leaves_a_clean_arena_for_reuse() {
+        // Regression: sharded workers track touched slots thread-locally, so
+        // they must retire their final-round slots on exit — otherwise a
+        // reused arena replays the previous run's messages as phantoms.
+        use crate::executor::{Executor, RoundState, SequentialExecutor, ShardedExecutor};
+        use crate::sharded::ShardedTopology;
+
+        /// Never sends; records how many messages arrived in its one round.
+        #[derive(Clone)]
+        struct HearOnce {
+            heard: usize,
+            done: bool,
+        }
+        impl NodeAlgorithm for HearOnce {
+            type Message = u64;
+            type Output = usize;
+            fn init(&mut self, _ctx: &NodeContext) {}
+            fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+                Outbox::Silent
+            }
+            fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
+                self.heard = inbox.len();
+                self.done = true;
+            }
+            fn is_halted(&self) -> bool {
+                self.done
+            }
+            fn output(&self) -> usize {
+                self.heard
+            }
+        }
+
+        let dense = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        let contexts: Vec<NodeContext> = (0..2)
+            .map(|v| NodeContext {
+                node: v,
+                degree: 1,
+                n: 2,
+                max_degree: 1,
+                round: 0,
+            })
+            .collect();
+        let mut state: RoundState<u64> = RoundState::new(&g);
+
+        // Run 1 (sharded): both nodes broadcast in their final round.
+        let mut gossips: Vec<GossipSum> = (0..2).map(|_| GossipSum::new(1)).collect();
+        for (node, ctx) in gossips.iter_mut().zip(&contexts) {
+            node.init(ctx);
+        }
+        let mut metrics = RunMetrics::default();
+        ShardedExecutor::new().drive(&g, &mut gossips, &contexts, &mut state, 1000, &mut metrics);
+        assert_eq!(metrics.messages, 2);
+
+        // Run 2 reuses the arena: pure listeners must hear *nothing*.
+        let mut listeners = vec![
+            HearOnce {
+                heard: 0,
+                done: false
+            };
+            2
+        ];
+        let mut metrics = RunMetrics::default();
+        SequentialExecutor.drive(
+            &g,
+            &mut listeners,
+            &contexts,
+            &mut state,
+            1000,
+            &mut metrics,
+        );
+        assert_eq!(
+            [listeners[0].output(), listeners[1].output()],
+            [0, 0],
+            "stale messages leaked from the previous sharded run"
+        );
+    }
+
+    #[test]
+    fn pooled_executor_runs_on_a_sharded_topology() {
+        // Sequential and pooled are generic over the representation, so a
+        // sharded topology can be driven without the sharded executor too.
+        use crate::sharded::ShardedTopology;
+        let n = 12;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let dense = Topology::from_edges(n, &edges).unwrap();
+        let g = ShardedTopology::from_topology(&dense, 3).unwrap();
+        let mk = || (0..n).map(|_| GossipSum::new(3)).collect::<Vec<_>>();
+        let seq = Simulator::new(&dense).run(mk());
+        let pooled = Simulator::with_config(&g, parallel_config(2)).run(mk());
+        assert_eq!(seq.outputs, pooled.outputs);
+        assert_eq!(seq.metrics.messages, pooled.metrics.messages);
     }
 
     #[test]

@@ -15,8 +15,14 @@ pub type NodeId = usize;
 /// A port of a node: an index in `0..deg(v)` identifying one incident edge.
 pub type Port = usize;
 
-/// Errors produced when constructing a [`Topology`].
+/// Errors produced when constructing a [`Topology`] or a
+/// [`ShardedTopology`](crate::sharded::ShardedTopology).
+///
+/// The enum is `#[non_exhaustive]`: construction helpers may learn to report
+/// new failure modes without a breaking change, so downstream `match`es need
+/// a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TopologyError {
     /// An edge endpoint is `>= n`.
     NodeOutOfRange {
@@ -29,6 +35,16 @@ pub enum TopologyError {
     SelfLoop(NodeId),
     /// The same undirected edge was supplied twice.
     DuplicateEdge(NodeId, NodeId),
+    /// A sharded construction was asked for zero shards.
+    ShardCountZero,
+    /// The graph exceeds the compact index range of the sharded
+    /// representation (node ids and directed-edge slots are stored as `u32`).
+    NodeRangeOverflow {
+        /// the node count or directed-edge count that does not fit
+        value: usize,
+        /// the largest representable value
+        limit: usize,
+    },
 }
 
 impl core::fmt::Display for TopologyError {
@@ -39,11 +55,63 @@ impl core::fmt::Display for TopologyError {
             }
             TopologyError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
             TopologyError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            TopologyError::ShardCountZero => write!(f, "shard count must be at least 1"),
+            TopologyError::NodeRangeOverflow { value, limit } => {
+                write!(
+                    f,
+                    "graph too large for the compact sharded representation \
+                     ({value} exceeds the u32 index limit {limit})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for TopologyError {}
+
+/// The read-only topology interface the round engine is written against.
+///
+/// [`Topology`] (one global CSR) and
+/// [`ShardedTopology`](crate::sharded::ShardedTopology) (edge-partitioned
+/// per-shard CSR slices) both implement this trait, so the
+/// [`RoundState`](crate::executor::RoundState) arena, every
+/// [`Executor`](crate::executor::Executor) and the
+/// [`Simulator`](crate::Simulator) work with either representation.
+///
+/// # The flat slot contract
+///
+/// `port_range(v)` maps node `v`'s ports into a single flat index space of
+/// size [`num_directed_edges`](TopologyView::num_directed_edges): slot
+/// `port_range(v).start + p` belongs to the directed edge arriving at
+/// `(v, p)`.  The ranges of distinct nodes are disjoint, cover
+/// `0..num_directed_edges()`, and are **ascending in `v`** — which is what
+/// lets a sharded executor hand each worker ownership of one contiguous
+/// slot sub-range.
+pub trait TopologyView: Sync {
+    /// Number of nodes `n`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed edges (`2 ·` undirected edges) — the size of any
+    /// flat per-port buffer, such as the round engine's inbox arena.
+    fn num_directed_edges(&self) -> usize;
+
+    /// Maximum degree `Δ`.
+    fn max_degree(&self) -> u32;
+
+    /// Degree of node `v`.
+    fn degree(&self, v: NodeId) -> usize;
+
+    /// The neighbour of `v` behind port `p`.
+    fn neighbor_at(&self, v: NodeId, p: Port) -> NodeId;
+
+    /// The port at which `v` appears in the port list of its neighbour
+    /// behind port `p`.
+    fn reverse_port(&self, v: NodeId, p: Port) -> Port;
+
+    /// The flat slot range of node `v`'s ports (see the trait docs for the
+    /// indexing contract).
+    fn port_range(&self, v: NodeId) -> core::ops::Range<usize>;
+}
 
 /// An undirected communication graph in compressed adjacency form.
 ///
@@ -241,25 +309,43 @@ impl Topology {
     /// The set of nodes within hop distance at most `r` of `v` (including `v`).
     ///
     /// Used by the ruling-set verifier and by power-graph constructions.
+    /// Allocates a fresh [`BallScratch`] per call; callers that query many
+    /// balls of the same graph should reuse one scratch via
+    /// [`Topology::ball_into`].
     pub fn ball(&self, v: NodeId, r: usize) -> Vec<NodeId> {
-        let mut dist = vec![usize::MAX; self.n];
-        let mut queue = std::collections::VecDeque::new();
-        dist[v] = 0;
-        queue.push_back(v);
-        let mut out = vec![v];
-        while let Some(u) = queue.pop_front() {
-            if dist[u] == r {
+        let mut scratch = BallScratch::default();
+        let mut out = Vec::new();
+        self.ball_into(&mut scratch, v, r, &mut out);
+        out
+    }
+
+    /// Writes the ball of radius `r` around `v` into `out` (cleared first),
+    /// reusing `scratch` across calls.
+    ///
+    /// The scratch marks visited nodes with a per-call epoch instead of
+    /// re-allocating (or re-zeroing) an `n`-sized visited buffer per call,
+    /// so querying all `n` balls of a graph costs `O(n)` allocation total
+    /// rather than `O(n²)`.
+    pub fn ball_into(&self, scratch: &mut BallScratch, v: NodeId, r: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let epoch = scratch.begin(self.n);
+        scratch.mark[v] = epoch;
+        scratch.dist[v] = 0;
+        scratch.queue.push_back(v);
+        out.push(v);
+        while let Some(u) = scratch.queue.pop_front() {
+            if scratch.dist[u] == r {
                 continue;
             }
             for &w in self.neighbors(u) {
-                if dist[w] == usize::MAX {
-                    dist[w] = dist[u] + 1;
+                if scratch.mark[w] != epoch {
+                    scratch.mark[w] = epoch;
+                    scratch.dist[w] = scratch.dist[u] + 1;
                     out.push(w);
-                    queue.push_back(w);
+                    scratch.queue.push_back(w);
                 }
             }
         }
-        out
     }
 
     /// Builds the power graph `G^p`: same vertex set, an edge between any two
@@ -270,14 +356,85 @@ impl Topology {
     pub fn power(&self, p: usize) -> Topology {
         assert!(p >= 1, "power must be at least 1");
         let mut edges = Vec::new();
+        let mut scratch = BallScratch::default();
+        let mut ball = Vec::new();
         for v in 0..self.n {
-            for u in self.ball(v, p) {
+            self.ball_into(&mut scratch, v, p, &mut ball);
+            for &u in &ball {
                 if v < u {
                     edges.push((v, u));
                 }
             }
         }
         Topology::from_edges(self.n, &edges).expect("power graph edges are valid by construction")
+    }
+}
+
+impl TopologyView for Topology {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Topology::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_directed_edges(&self) -> usize {
+        Topology::num_directed_edges(self)
+    }
+
+    #[inline]
+    fn max_degree(&self) -> u32 {
+        Topology::max_degree(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        Topology::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbor_at(&self, v: NodeId, p: Port) -> NodeId {
+        Topology::neighbor_at(self, v, p)
+    }
+
+    #[inline]
+    fn reverse_port(&self, v: NodeId, p: Port) -> Port {
+        Topology::reverse_port(self, v, p)
+    }
+
+    #[inline]
+    fn port_range(&self, v: NodeId) -> core::ops::Range<usize> {
+        Topology::port_range(self, v)
+    }
+}
+
+/// Reusable BFS scratch for [`Topology::ball_into`].
+///
+/// Visited state is tracked by stamping nodes with a monotonically
+/// increasing epoch, so reusing the scratch across calls costs no clearing:
+/// a new call just bumps the epoch, invalidating all previous stamps at
+/// once.  Buffers grow to `n` on first use and are then recycled.
+#[derive(Debug, Default)]
+pub struct BallScratch {
+    /// Epoch at which each node was last visited.
+    mark: Vec<u64>,
+    /// BFS distance, valid only where `mark[v]` equals the current epoch.
+    dist: Vec<usize>,
+    /// Current epoch (incremented per call).
+    epoch: u64,
+    /// BFS frontier queue (drained empty by every call).
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl BallScratch {
+    /// Starts a new traversal over `n` nodes; returns the fresh epoch.
+    fn begin(&mut self, n: usize) -> u64 {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.queue.clear();
+        self.epoch
     }
 }
 
@@ -386,5 +543,54 @@ mod tests {
         for (u, v) in g.edges() {
             assert!(g1.are_adjacent(u, v));
         }
+    }
+
+    #[test]
+    fn ball_scratch_is_reusable_across_nodes_and_graphs() {
+        let g = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut scratch = BallScratch::default();
+        let mut out = Vec::new();
+        for v in g.nodes() {
+            for r in 0..3 {
+                g.ball_into(&mut scratch, v, r, &mut out);
+                let mut fresh = g.ball(v, r);
+                out.sort_unstable();
+                fresh.sort_unstable();
+                assert_eq!(out, fresh, "v={v} r={r}");
+            }
+        }
+        // The same scratch serves a different (smaller) graph.
+        let h = triangle();
+        h.ball_into(&mut scratch, 1, 1, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn topology_view_matches_inherent_methods() {
+        let g = Topology::from_edges(5, &[(4, 0), (4, 2), (4, 1), (1, 0)]).unwrap();
+        let view: &dyn TopologyView = &g;
+        assert_eq!(view.num_nodes(), 5);
+        assert_eq!(view.num_directed_edges(), 8);
+        assert_eq!(view.max_degree(), 3);
+        for v in g.nodes() {
+            assert_eq!(view.degree(v), g.degree(v));
+            assert_eq!(view.port_range(v), g.port_range(v));
+            for p in 0..g.degree(v) {
+                assert_eq!(view.neighbor_at(v, p), g.neighbor_at(v, p));
+                assert_eq!(view.reverse_port(v, p), g.reverse_port(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_covers_sharding_variants() {
+        let e = TopologyError::ShardCountZero;
+        assert!(e.to_string().contains("at least 1"));
+        let e = TopologyError::NodeRangeOverflow {
+            value: 1 << 33,
+            limit: u32::MAX as usize,
+        };
+        assert!(e.to_string().contains("u32 index limit"));
     }
 }

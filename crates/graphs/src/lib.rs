@@ -12,8 +12,11 @@
 //! * partitions into low-degree induced subgraphs (Theorem 1.1 (2)),
 //! * independent sets and `(2, r)`-ruling sets.
 //!
-//! [`coloring`] holds the output types shared by the algorithm crates and
-//! [`stats`] provides the degree statistics the experiment tables report.
+//! [`coloring`] holds the output types shared by the algorithm crates,
+//! [`stats`] provides the degree statistics the experiment tables report,
+//! and [`streaming`] builds edge-partitioned
+//! [`ShardedTopology`](dcme_congest::ShardedTopology) graphs shard-by-shard
+//! without ever materializing a global edge list (the `n ≥ 10^7` path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 pub mod coloring;
 pub mod generators;
 pub mod stats;
+pub mod streaming;
 pub mod subgraph;
 pub mod verify;
 
