@@ -28,6 +28,21 @@ impl MessageSize for ColorMsg {
     }
 }
 
+impl dcme_congest::WireMessage for ColorMsg {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        dcme_congest::wire::write_color(w, self.0);
+        0
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        _aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        dcme_congest::wire::read_color(r, bits as u32).map(ColorMsg)
+    }
+}
+
 struct IterativeNode {
     color: u64,
     target: u64,

@@ -34,6 +34,32 @@ impl MessageSize for LubyMessage {
     }
 }
 
+impl dcme_congest::WireMessage for LubyMessage {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        let (tag, c) = match self {
+            LubyMessage::Propose(c) => (0, *c),
+            LubyMessage::Final(c) => (1, *c),
+        };
+        w.write_bits(tag, 1);
+        dcme_congest::wire::write_color(w, c);
+        0
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        _aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        let tag = r.read_bits(1)?;
+        let c = dcme_congest::wire::read_color(r, bits as u32 - 1)?;
+        Ok(if tag == 0 {
+            LubyMessage::Propose(c)
+        } else {
+            LubyMessage::Final(c)
+        })
+    }
+}
+
 struct LubyNode {
     rng: StdRng,
     palette: u64,

@@ -17,73 +17,17 @@
 //! [`RunMetrics`] row per configuration (JSON lines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcme_bench::workloads;
 use dcme_congest::{
-    Inbox, JsonLinesWriter, NodeAlgorithm, NodeContext, Outbox, RunMetrics, RunOutcome,
-    SequentialExecutor, ShardedExecutor, ShardedTopology, Simulator, SimulatorConfig, TopologyView,
+    JsonLinesWriter, RunMetrics, RunOutcome, SequentialExecutor, ShardedExecutor, ShardedTopology,
+    Simulator, SimulatorConfig, TopologyView,
 };
 use dcme_graphs::streaming;
 
-/// Gossip with staggered halts (same workload as `engine_scaling`): node `v`
-/// broadcasts its id every round and halts after `ttl(v)` rounds, where most
-/// nodes get a small ttl and every 97th node keeps going for `tail` rounds.
-#[derive(Clone)]
-struct StaggeredGossip {
-    id: u64,
-    ttl: u64,
-    tail: u64,
-    heard: u64,
-    rounds_done: u64,
-}
-
-impl StaggeredGossip {
-    fn new(tail: u64) -> Self {
-        Self {
-            id: 0,
-            ttl: 0,
-            tail,
-            heard: 0,
-            rounds_done: 0,
-        }
-    }
-}
-
-impl NodeAlgorithm for StaggeredGossip {
-    type Message = u64;
-    type Output = u64;
-
-    fn init(&mut self, ctx: &NodeContext) {
-        self.id = ctx.node as u64;
-        self.ttl = if ctx.node % 97 == 0 {
-            self.tail
-        } else {
-            2 + (self.id % 7)
-        };
-    }
-
-    fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
-        Outbox::Broadcast(self.id)
-    }
-
-    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
-        for (_, m) in inbox.iter() {
-            self.heard = self.heard.wrapping_add(*m);
-        }
-        self.rounds_done += 1;
-    }
-
-    fn is_halted(&self) -> bool {
-        self.rounds_done >= self.ttl
-    }
-
-    fn output(&self) -> u64 {
-        self.heard
-    }
-}
-
 fn run(g: &ShardedTopology, tail: u64, sharded: bool) -> RunOutcome<u64> {
-    let nodes: Vec<StaggeredGossip> = (0..g.num_nodes())
-        .map(|_| StaggeredGossip::new(tail))
-        .collect();
+    // Gossip with staggered halts, shared with `engine_scaling` and
+    // `engine_transport` (see `dcme_bench::workloads`).
+    let nodes = workloads::gossip_nodes(0..g.num_nodes(), tail);
     let sim = Simulator::with_config(
         g,
         SimulatorConfig {

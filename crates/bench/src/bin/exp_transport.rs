@@ -1,0 +1,12 @@
+//! Experiment binary: prints the transport-backends table (ET) — the
+//! sharded engine under in-process queues vs the wire-codec'd socket
+//! loopback.  For the multi-process (one worker process per shard) backend,
+//! see `exp_worker`.
+//!
+//! Usage: `cargo run -p dcme_bench --release --bin exp_transport [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::transport_backends(scale);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,270 @@
+//! The multi-process transport runner: a coordinator that spawns **one
+//! worker process per shard** and drives a full simulation across process
+//! boundaries, every cross-shard message wire-encoded over TCP.
+//!
+//! Without `--worker`, the binary is the coordinator: it builds the graph,
+//! binds a loopback TCP listener, re-executes itself once per shard in
+//! worker mode, relays the round frames between the workers
+//! ([`dcme_congest::transport::coordinate`]) and prints the merged
+//! [`RunMetrics`].  With `--worker SHARD --connect ADDR` it serves exactly
+//! one shard ([`dcme_congest::transport::serve_shard`]) and exits.
+//!
+//! Every process derives the same topology and workload deterministically
+//! from the shared arguments, so the run is bit-for-bit comparable to an
+//! in-process sequential run — which `--verify` checks end to end.
+//!
+//! ```sh
+//! # 4 worker processes over a 200k-node random 4-regular circulant:
+//! cargo run -p dcme_bench --release --bin exp_worker
+//! # CI-sized smoke with verification against the sequential executor:
+//! cargo run -p dcme_bench --release --bin exp_worker -- \
+//!     --n 4000 --shards 2 --graph circulant4 --verify
+//! ```
+
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+
+use dcme_bench::workloads;
+use dcme_congest::{transport, JsonLinesWriter, RunMetrics, Simulator, SimulatorConfig};
+
+/// Shared run parameters; every worker re-derives the topology from these.
+#[derive(Debug, Clone)]
+struct Params {
+    n: usize,
+    shards: usize,
+    graph: String,
+    tail: u64,
+    seed: u64,
+    max_rounds: u64,
+}
+
+struct Args {
+    params: Params,
+    worker: Option<usize>,
+    connect: Option<String>,
+    verify: bool,
+    jsonl: Option<std::path::PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exp_worker [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
+         [--seed SEED] [--max-rounds R] [--verify] [--jsonl PATH]\n\
+         \x20      exp_worker --worker SHARD --connect HOST:PORT <same run parameters>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        params: Params {
+            n: 200_000,
+            shards: 4,
+            graph: "circulant4".to_string(),
+            tail: 12,
+            seed: 7,
+            max_rounds: 1_000_000,
+        },
+        worker: None,
+        connect: None,
+        verify: false,
+        jsonl: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--n" => args.params.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                args.params.shards = value("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--graph" => args.params.graph = value("--graph"),
+            "--tail" => args.params.tail = value("--tail").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.params.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-rounds" => {
+                args.params.max_rounds = value("--max-rounds").parse().unwrap_or_else(|_| usage())
+            }
+            "--worker" => args.worker = Some(value("--worker").parse().unwrap_or_else(|_| usage())),
+            "--connect" => args.connect = Some(value("--connect")),
+            "--verify" => args.verify = true,
+            "--jsonl" => args.jsonl = Some(value("--jsonl").into()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let result = match args.worker {
+        Some(shard) => run_worker(&args.params, shard, args.connect.as_deref()),
+        None => run_coordinator(&args.params, args.verify, args.jsonl.as_deref()),
+    };
+    if let Err(e) = result {
+        eprintln!("exp_worker: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Worker mode: connect to the coordinator, serve one shard, exit.
+fn run_worker(params: &Params, shard: usize, connect: Option<&str>) -> std::io::Result<()> {
+    let addr = connect.unwrap_or_else(|| {
+        eprintln!("--worker requires --connect HOST:PORT");
+        usage()
+    });
+    let g = workloads::build_graph(&params.graph, params.n, params.shards, params.seed)
+        .map_err(std::io::Error::other)?;
+    let nodes = workloads::gossip_nodes(g.shard_nodes(shard), params.tail);
+    let mut link = TcpStream::connect(addr)?;
+    link.set_nodelay(true)?;
+    transport::serve_shard(&mut link, &g, shard, nodes)
+}
+
+/// Coordinator mode: spawn one worker process per shard and run the
+/// simulation across the process boundary.
+fn run_coordinator(
+    params: &Params,
+    verify: bool,
+    jsonl: Option<&std::path::Path>,
+) -> std::io::Result<()> {
+    let g = workloads::build_graph(&params.graph, params.n, params.shards, params.seed)
+        .map_err(std::io::Error::other)?;
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+
+    let exe = std::env::current_exe()?;
+    let mut children: Vec<Child> = Vec::with_capacity(params.shards);
+    for shard in 0..params.shards {
+        children.push(
+            Command::new(&exe)
+                .args([
+                    "--worker",
+                    &shard.to_string(),
+                    "--connect",
+                    &addr.to_string(),
+                    "--n",
+                    &params.n.to_string(),
+                    "--shards",
+                    &params.shards.to_string(),
+                    "--graph",
+                    &params.graph,
+                    "--tail",
+                    &params.tail.to_string(),
+                    "--seed",
+                    &params.seed.to_string(),
+                ])
+                .stdin(Stdio::null())
+                .spawn()?,
+        );
+    }
+
+    // Links arrive in arbitrary order; `coordinate` sorts them out by the
+    // shard index of each worker's initial vote.  The accept loop is
+    // nonblocking so a worker that dies before connecting (bad args, OOM)
+    // is reported instead of hanging the coordinator forever.
+    listener.set_nonblocking(true)?;
+    let mut links = Vec::with_capacity(params.shards);
+    while links.len() < params.shards {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                links.push(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                for child in children.iter_mut() {
+                    if let Some(status) = child.try_wait()? {
+                        return Err(std::io::Error::other(format!(
+                            "a worker process exited with {status} before connecting"
+                        )));
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    listener.set_nonblocking(false)?;
+    let t = std::time::Instant::now();
+    let outcome = transport::coordinate::<u64, _>(links, &g, params.max_rounds);
+    let wall = t.elapsed();
+    for mut child in children {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(std::io::Error::other(format!(
+                "a worker process exited with {status}"
+            )));
+        }
+    }
+    let outcome = outcome?;
+
+    let label = format!(
+        "exp_worker/{}/n{}/shards{}",
+        params.graph, params.n, params.shards
+    );
+    println!(
+        "{label}: rounds={} messages={} cross_shard={} wire_bytes={} flush_ms={:.2} wall_ms={:.0}",
+        outcome.metrics.rounds,
+        outcome.metrics.messages,
+        outcome.metrics.cross_shard_messages,
+        outcome.metrics.wire_bytes_sent,
+        outcome.metrics.transport_flush_nanos as f64 / 1e6,
+        wall.as_secs_f64() * 1e3,
+    );
+    if let Some(path) = jsonl {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        JsonLinesWriter::new(file).append(&label, &outcome.metrics)?;
+    }
+
+    if verify {
+        let reference = Simulator::with_config(
+            &g,
+            SimulatorConfig {
+                max_rounds: params.max_rounds,
+                ..SimulatorConfig::default()
+            },
+        )
+        .run(workloads::gossip_nodes(0..params.n, params.tail));
+        check_equal(&reference.metrics, &outcome.metrics)?;
+        if reference.outputs != outcome.outputs {
+            return Err(std::io::Error::other(
+                "multi-process outputs diverged from the sequential executor",
+            ));
+        }
+        println!("verify: OK (bit-for-bit vs sequential executor)");
+    }
+    Ok(())
+}
+
+fn check_equal(seq: &RunMetrics, multi: &RunMetrics) -> std::io::Result<()> {
+    let pairs = [
+        ("rounds", seq.rounds, multi.rounds),
+        ("messages", seq.messages, multi.messages),
+        ("total_bits", seq.total_bits, multi.total_bits),
+        (
+            "max_message_bits",
+            seq.max_message_bits,
+            multi.max_message_bits,
+        ),
+    ];
+    for (name, a, b) in pairs {
+        if a != b {
+            return Err(std::io::Error::other(format!(
+                "multi-process {name} diverged: sequential {a} vs multi-process {b}"
+            )));
+        }
+    }
+    if seq.active_per_round != multi.active_per_round {
+        return Err(std::io::Error::other("active_per_round diverged"));
+    }
+    Ok(())
+}

@@ -590,6 +590,84 @@ pub fn e12_bandwidth(scale: Scale) -> Table {
     t
 }
 
+/// ET — transport backends: the sharded engine under the in-process
+/// staging queues vs. the wire-codec'd socket loopback, with the sequential
+/// executor as the bit-for-bit reference.  The socket rows carry the new
+/// transport counters (`wire_bytes_sent`, `transport_flush_nanos`), so
+/// `exp_all --jsonl` records them machine-readably.
+pub fn transport_backends(scale: Scale) -> Table {
+    use dcme_congest::{SequentialExecutor, ShardedExecutor, Simulator, SocketLoopback};
+
+    let mut t = Table::new(
+        "ET: transport backends — in-process vs wire-codec'd socket loopback",
+        &[
+            "graph",
+            "backend",
+            "rounds",
+            "messages",
+            "cross-shard",
+            "wire bytes",
+            "flush ms",
+        ],
+    );
+    let n = scale.pick(600, 20_000);
+    let shards = 3;
+    let tail = 9;
+    for family in ["ring", "circulant4"] {
+        let g = crate::workloads::build_graph(family, n, shards, 11).expect("ET graph");
+        let mk = || crate::workloads::gossip_nodes(0..n, tail);
+        let reference = Simulator::new(&g).run_with_executor(mk(), &SequentialExecutor);
+        let mut runs = vec![
+            ("sequential", reference.metrics.clone()),
+            (
+                "sharded+inproc",
+                Simulator::new(&g)
+                    .run_with_executor(mk(), &ShardedExecutor::new())
+                    .metrics,
+            ),
+            (
+                "sharded+socket(tcp)",
+                Simulator::new(&g)
+                    .run_with_executor(
+                        mk(),
+                        &ShardedExecutor::with_transport(SocketLoopback::tcp()),
+                    )
+                    .metrics,
+            ),
+        ];
+        #[cfg(unix)]
+        runs.push((
+            "sharded+socket(unix)",
+            Simulator::new(&g)
+                .run_with_executor(
+                    mk(),
+                    &ShardedExecutor::with_transport(SocketLoopback::unix()),
+                )
+                .metrics,
+        ));
+        for (backend, metrics) in &runs {
+            // The backends must agree on every logical counter; the wire
+            // counters are what this table is about.
+            assert_eq!(metrics.rounds, reference.metrics.rounds, "{backend}");
+            assert_eq!(metrics.messages, reference.metrics.messages, "{backend}");
+            assert_eq!(
+                metrics.total_bits, reference.metrics.total_bits,
+                "{backend}"
+            );
+            t.push_row(vec![
+                format!("{family}(n={n})"),
+                backend.to_string(),
+                metrics.rounds.to_string(),
+                metrics.messages.to_string(),
+                metrics.cross_shard_messages.to_string(),
+                metrics.wire_bytes_sent.to_string(),
+                format!("{:.2}", metrics.transport_flush_nanos as f64 / 1e6),
+            ]);
+        }
+    }
+    t
+}
+
 /// Runs every experiment at the given scale and returns the tables in order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -605,6 +683,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e10_chopping(scale),
         e11_logstar(scale),
         e12_bandwidth(scale),
+        transport_backends(scale),
     ]
 }
 
@@ -664,6 +743,12 @@ mod tests {
         assert!(!e4_outdegree(Scale::Quick).rows.is_empty());
         assert!(!e5_defective(Scale::Quick).rows.is_empty());
         assert!(!e12_bandwidth(Scale::Quick).rows.is_empty());
+        let et = transport_backends(Scale::Quick);
+        assert!(!et.rows.is_empty());
+        // Every socket row must have crossed real wire bytes.
+        for row in et.rows.iter().filter(|r| r[1].contains("socket")) {
+            assert_ne!(row[5], "0", "socket backend sent no wire bytes: {row:?}");
+        }
     }
 
     #[test]

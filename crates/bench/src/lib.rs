@@ -6,12 +6,46 @@
 //! whose rows are exactly what the corresponding `exp_*` binary prints and
 //! what EXPERIMENTS.md records; the Criterion benches in `benches/` reuse the
 //! same runners on smaller instances to track wall-clock performance of the
-//! simulator + algorithms.
+//! simulator + algorithms.  The transport backends get their own table
+//! ([`experiments::transport_backends`], `exp_transport`), and the
+//! multi-process socket backend its own binary (`exp_worker`, which both
+//! coordinates and serves — see its `--help`).
+//!
+//! # The JSON-lines schema
+//!
+//! Two row shapes are emitted, both one self-contained JSON object per line:
+//!
+//! **Table rows** (`exp_* --jsonl PATH`, including `exp_all`): every cell of
+//! every table, keyed by its column header plus a `"table"` tag.  Cells are
+//! strings (rows are self-describing, not typed):
+//!
+//! ```json
+//! {"table":"ET: transport backends ...","graph":"ring(n=600)","backend":"sharded+socket(tcp)",
+//!  "rounds":"8","messages":"9600","cross-shard":"24","wire bytes":"4310","flush ms":"0.11"}
+//! ```
+//!
+//! **RunMetrics rows** (`DCME_METRICS_JSONL=PATH` for the `engine_*`
+//! benches, or any [`dcme_congest::JsonLinesWriter::append`] caller): the
+//! numeric fields of one [`dcme_congest::RunMetrics`], one-to-one with the
+//! struct fields, tagged with a `"label"`:
+//!
+//! ```json
+//! {"label":"ring/n20000/sharded4","rounds":16,"messages":833568,"total_bits":12015224,
+//!  "max_message_bits":15,"hit_round_cap":false,"intra_shard_messages":833540,
+//!  "cross_shard_messages":28,"wire_bytes_sent":3584,"transport_flush_nanos":113917,
+//!  "active_per_round":[20000,…],"phase_nanos":{"send":…,"deliver":…,"receive":…},
+//!  "shard_phase_nanos":[{…},…]}
+//! ```
+//!
+//! Fields are only ever **added** (`wire_bytes_sent` and
+//! `transport_flush_nanos` arrived with the transport subsystem), so rows
+//! stay parseable across versions; consumers must ignore unknown keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod table;
+pub mod workloads;
 
 pub use table::Table;

@@ -1,0 +1,111 @@
+//! Engine-level benchmark workloads shared by the `engine_*` benches, the
+//! transport experiment and the multi-process `exp_worker` binary.
+//!
+//! Every runner here must be a **deterministic function of the node id and
+//! its parameters**: the multi-process backend constructs the same workload
+//! independently in every worker process, so any hidden state would break
+//! the bit-for-bit equivalence the transport tests assert.
+
+use dcme_congest::{Inbox, NodeAlgorithm, NodeContext, Outbox, ShardedTopology};
+use dcme_graphs::streaming;
+
+/// Gossip with staggered halts (the `engine_scaling` / `engine_sharding`
+/// workload): node `v` broadcasts its id every round and halts after
+/// `ttl(v)` rounds, where most nodes get a small ttl and every 97th node
+/// keeps going for `tail` rounds — so the active set drains raggedly across
+/// shard boundaries.
+#[derive(Debug, Clone)]
+pub struct StaggeredGossip {
+    id: u64,
+    ttl: u64,
+    tail: u64,
+    heard: u64,
+    rounds_done: u64,
+}
+
+impl StaggeredGossip {
+    /// A node that will run for `tail` rounds if it is a long-tail node.
+    pub fn new(tail: u64) -> Self {
+        Self {
+            id: 0,
+            ttl: 0,
+            tail,
+            heard: 0,
+            rounds_done: 0,
+        }
+    }
+}
+
+impl NodeAlgorithm for StaggeredGossip {
+    type Message = u64;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &NodeContext) {
+        self.id = ctx.node as u64;
+        self.ttl = if ctx.node % 97 == 0 {
+            self.tail
+        } else {
+            2 + (self.id % 7)
+        };
+    }
+
+    fn send(&mut self, _ctx: &NodeContext) -> Outbox<u64> {
+        Outbox::Broadcast(self.id)
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
+        for (_, m) in inbox.iter() {
+            self.heard = self.heard.wrapping_add(*m);
+        }
+        self.rounds_done += 1;
+    }
+
+    fn is_halted(&self) -> bool {
+        self.rounds_done >= self.ttl
+    }
+
+    fn output(&self) -> u64 {
+        self.heard
+    }
+}
+
+/// The graph families of the `engine_sharding` / `engine_transport` benches,
+/// built shard-by-shard with the streaming constructors.
+///
+/// `name` is `"ring"` or `"circulant4"` (a random 4-regular circulant,
+/// seeded with `seed`); anything else is an error the caller reports.
+pub fn build_graph(
+    name: &str,
+    n: usize,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardedTopology, String> {
+    match name {
+        "ring" => streaming::ring(n, shards).map_err(|e| e.to_string()),
+        "circulant4" => streaming::random_regular(n, 4, seed, shards).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown graph family {other:?} (expected \"ring\" or \"circulant4\")"
+        )),
+    }
+}
+
+/// Instantiates the gossip workload for a node range (the whole graph for
+/// in-process runs, one shard's range for a worker process).
+pub fn gossip_nodes(range: core::ops::Range<usize>, tail: u64) -> Vec<StaggeredGossip> {
+    range.map(|_| StaggeredGossip::new(tail)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_congest::TopologyView;
+
+    #[test]
+    fn graph_families_build_and_reject_unknown_names() {
+        let g = build_graph("ring", 12, 2, 0).unwrap();
+        assert_eq!(g.num_nodes(), 12);
+        let g = build_graph("circulant4", 40, 3, 7).unwrap();
+        assert_eq!(g.num_nodes(), 40);
+        assert!(build_graph("torus", 10, 2, 0).is_err());
+    }
+}

@@ -33,6 +33,21 @@ impl MessageSize for CurrentColor {
     }
 }
 
+impl dcme_congest::WireMessage for CurrentColor {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        dcme_congest::wire::write_color(w, self.0);
+        0
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        _aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        dcme_congest::wire::read_color(r, bits as u32).map(CurrentColor)
+    }
+}
+
 /// Per-node state machine of the elimination schedule.
 struct EliminationNode {
     color: u64,

@@ -55,6 +55,50 @@ impl MessageSize for ListMessage {
     }
 }
 
+impl dcme_congest::WireMessage for ListMessage {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        match self {
+            // Two variable-width fields: the color width travels in the aux
+            // framing byte so the decoder knows where to split the payload.
+            ListMessage::Propose { color, priority } => {
+                w.write_bits(0, 1);
+                dcme_congest::wire::write_color(w, *color);
+                dcme_congest::wire::write_color(w, *priority);
+                dcme_congest::wire::color_width(*color) as u8
+            }
+            ListMessage::Finalized { color } => {
+                w.write_bits(1, 1);
+                dcme_congest::wire::write_color(w, *color);
+                0
+            }
+        }
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        let tag = r.read_bits(1)?;
+        let rest = bits as u32 - 1;
+        if tag == 1 {
+            let color = dcme_congest::wire::read_color(r, rest)?;
+            Ok(ListMessage::Finalized { color })
+        } else {
+            let color_bits = aux as u32;
+            if color_bits == 0 || color_bits >= rest {
+                return Err(dcme_congest::WireError::BadLength {
+                    len: color_bits as usize,
+                    limit: rest.saturating_sub(1) as usize,
+                });
+            }
+            let color = dcme_congest::wire::read_color(r, color_bits)?;
+            let priority = dcme_congest::wire::read_color(r, rest - color_bits)?;
+            Ok(ListMessage::Propose { color, priority })
+        }
+    }
+}
+
 struct ListNode {
     list: Vec<u64>,
     priority: u64,

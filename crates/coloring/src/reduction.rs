@@ -62,6 +62,21 @@ impl MessageSize for InputColor {
     }
 }
 
+impl dcme_congest::WireMessage for InputColor {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        dcme_congest::wire::write_color(w, self.0);
+        0
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        _aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        dcme_congest::wire::read_color(r, bits as u32).map(InputColor)
+    }
+}
+
 /// Shared, locally computable constants of Algorithm 2 for a given `(m, Δ, k)`.
 #[derive(Debug, Clone, Copy)]
 struct ReductionPlan {

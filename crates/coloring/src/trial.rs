@@ -119,6 +119,36 @@ impl MessageSize for TrialMessage {
     }
 }
 
+impl dcme_congest::WireMessage for TrialMessage {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        match self {
+            TrialMessage::Active { input_color } => {
+                w.write_bits(0, 1);
+                dcme_congest::wire::write_color(w, *input_color);
+            }
+            TrialMessage::Adopted { color } => {
+                w.write_bits(1, 1);
+                dcme_congest::wire::write_color(w, *color);
+            }
+        }
+        0
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        _aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        let tag = r.read_bits(1)?;
+        let value = dcme_congest::wire::read_color(r, bits as u32 - 1)?;
+        Ok(if tag == 0 {
+            TrialMessage::Active { input_color: value }
+        } else {
+            TrialMessage::Adopted { color: value }
+        })
+    }
+}
+
 /// Per-node output of the algorithm.
 #[derive(Debug, Clone, Default)]
 pub struct TrialNodeOutput {

@@ -153,7 +153,14 @@ pub trait NodeAlgorithm: Send {
     /// `Sync` is required because the pooled executor's workers read their
     /// nodes' inbox slots concurrently from the shared round arena; message
     /// types are plain data in practice, so the bound is automatic.
-    type Message: Clone + Send + Sync + MessageSize;
+    ///
+    /// [`WireMessage`](crate::wire::WireMessage) is required because in
+    /// CONGEST a message is, by definition, a bounded bit string on a wire:
+    /// every message type must say how it is encoded, which is what lets
+    /// the socket transports run any algorithm across real sockets and
+    /// lets the bandwidth tests check the recorded
+    /// [`MessageSize::bit_size`] against actual encoded bits.
+    type Message: Clone + Send + Sync + MessageSize + crate::wire::WireMessage;
     /// The node's final output (e.g. its color).
     type Output: Clone + Send;
 

@@ -61,18 +61,24 @@
 //! [`ShardedTopology`].  Worker `w` owns, exclusively and lock-free, the
 //! slice of inbox slots belonging to shard `w`'s nodes (the arena's flat
 //! slot vector is split by the shard slot ranges), so **every write to a
-//! slot is performed by the worker that owns it**:
+//! slot is performed by the worker that owns it**.  Cross-shard messages
+//! travel through a pluggable [`Transport`] (see [`crate::transport`]):
 //!
-//! 1. **Send + route** (barrier A → B): worker `w` clears its slots
-//!    touched last round, runs the send phase for its active nodes, and
-//!    routes each message via the topology's precomputed
+//! 1. **Send + route + flush** (barrier A → B): worker `w` clears its
+//!    slots touched last round, runs the send phase for its active nodes,
+//!    and routes each message via the topology's precomputed
 //!    [`dest_slot`](ShardedTopology::dest_slot) remap table — intra-shard
 //!    messages are written straight into `w`'s own slots, cross-shard
-//!    messages are pushed onto the `w → target` staging queue.  Message
-//!    and bit accounting is charged here, split into intra-/cross-shard
-//!    counters.
+//!    messages are staged on the transport (`Transport::stage`).  At the
+//!    send barrier the worker flushes its staged batches
+//!    (`Transport::flush`): the in-process backend is a no-op, socket
+//!    backends seal one wire frame per destination shard.  Message and
+//!    bit accounting is charged here, split into intra-/cross-shard
+//!    counters; flushed wire bytes and flush time are recorded in
+//!    `RunMetrics::{wire_bytes_sent,transport_flush_nanos}`.
 //! 2. **Cross-shard drain** (B → C): worker `w` drains every `x → w`
-//!    queue into its own slots.  The queues are `Mutex`-guarded but
+//!    channel into its own slots (`Transport::drain`).  For the
+//!    in-process backend the channels are `Mutex`-guarded queues,
 //!    uncontended by construction: `x → w` is written only by `x` in
 //!    phase 1 and read only by `w` in phase 2, with a barrier in between.
 //! 3. **Receive** (C → D): worker `w` hands its nodes their inbox views
@@ -96,6 +102,7 @@ use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 use crate::metrics::{PhaseTimings, RunMetrics};
 use crate::sharded::ShardedTopology;
 use crate::topology::{NodeId, Port, Topology, TopologyView};
+use crate::transport::{InProcess, Transport, TransportBuilder};
 
 /// The reusable per-run arena of the round engine.
 ///
@@ -660,35 +667,54 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
 
 /// The shard-owning executor: one worker per shard of a [`ShardedTopology`],
 /// each with exclusive, lock-free ownership of its shard's inbox slots;
-/// cross-shard messages travel through per-shard-pair staging queues.  See
-/// the [module docs](self) for the delivery protocol.  Bit-for-bit
-/// equivalent to [`SequentialExecutor`] on the same topology.
+/// cross-shard messages travel through a pluggable [`Transport`] backend.
+/// See the [module docs](self) for the delivery protocol.  Bit-for-bit
+/// equivalent to [`SequentialExecutor`] on the same topology (outputs and
+/// all logical counters; `wire_bytes_sent` / `transport_flush_nanos`
+/// describe the backend and are exempt, like wall-clock timings).
+///
+/// The default backend is [`InProcess`] (shared-memory staging queues);
+/// [`ShardedExecutor::with_transport`] selects another, e.g.
+/// [`SocketLoopback`](crate::transport::SocketLoopback) to push every
+/// cross-shard message through a wire-encoded kernel socket.
 ///
 /// Unlike the other executors this one is tied to `ShardedTopology` (it
 /// implements only `Executor<ShardedTopology>`): the shard layout *is* its
 /// parallelisation strategy, so it takes no thread-count parameter — the
 /// topology's shard count decides.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ShardedExecutor;
+pub struct ShardedExecutor<B: TransportBuilder = InProcess> {
+    builder: B,
+}
 
-impl ShardedExecutor {
-    /// Creates the executor (stateless; the topology carries the layout).
+impl ShardedExecutor<InProcess> {
+    /// Creates the executor with the in-process (shared-memory) transport.
     pub fn new() -> Self {
-        Self
+        Self { builder: InProcess }
+    }
+}
+
+impl<B: TransportBuilder> ShardedExecutor<B> {
+    /// Creates the executor over an explicit transport backend.
+    pub fn with_transport(builder: B) -> Self {
+        Self { builder }
     }
 }
 
 /// Per-worker accounting of a sharded run.  Workers fill a local copy and
 /// publish it when they exit; the coordinator merges the reports **in shard
-/// order**, so every total in [`RunMetrics`] is deterministic.
+/// order**, so every total in [`RunMetrics`] is deterministic.  Also reused
+/// by the remote worker protocol in [`crate::transport`].
 #[derive(Debug, Default)]
-struct ShardReport {
-    messages: u64,
-    total_bits: u64,
-    max_message_bits: u64,
-    intra: u64,
-    cross: u64,
-    timings: PhaseTimings,
+pub(crate) struct ShardReport {
+    pub(crate) messages: u64,
+    pub(crate) total_bits: u64,
+    pub(crate) max_message_bits: u64,
+    pub(crate) intra: u64,
+    pub(crate) cross: u64,
+    pub(crate) wire_bytes: u64,
+    pub(crate) flush_nanos: u64,
+    pub(crate) timings: PhaseTimings,
 }
 
 impl ShardReport {
@@ -699,11 +725,7 @@ impl ShardReport {
     }
 }
 
-/// A staged cross-shard message: `(destination slot, sender, payload)`.
-/// Slot and sender fit `u32` by the [`ShardedTopology`] construction checks.
-type Staged<M> = (u32, u32, M);
-
-impl Executor<ShardedTopology> for ShardedExecutor {
+impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
     fn drive<A: NodeAlgorithm>(
         &self,
         topology: &ShardedTopology,
@@ -728,9 +750,10 @@ impl Executor<ShardedTopology> for ShardedExecutor {
             stop: AtomicBool::new(false),
         };
         let sync = PhaseSync::new(shard_count + 1);
-        let queues: Vec<Mutex<Vec<Staged<A::Message>>>> = (0..shard_count * shard_count)
-            .map(|_| Mutex::new(Vec::new()))
-            .collect();
+        let transport = self
+            .builder
+            .build::<A::Message>(topology)
+            .unwrap_or_else(|e| panic!("failed to build the cross-shard transport: {e}"));
         let active_counts: Vec<AtomicUsize> =
             (0..shard_count).map(|_| AtomicUsize::new(0)).collect();
         let reports: Vec<Mutex<ShardReport>> = (0..shard_count)
@@ -753,7 +776,7 @@ impl Executor<ShardedTopology> for ShardedExecutor {
                 rest_nodes = tail;
                 let (my_ctxs, tail) = rest_ctxs.split_at(node_range.len());
                 rest_ctxs = tail;
-                let (signal, sync, queues) = (&signal, &sync, &queues);
+                let (signal, sync, transport) = (&signal, &sync, &transport);
                 let (active_count, report) = (&active_counts[s], &reports[s]);
                 scope.spawn(move || {
                     sharded_worker_loop(
@@ -766,7 +789,7 @@ impl Executor<ShardedTopology> for ShardedExecutor {
                         slot_range.start,
                         signal,
                         sync,
-                        queues,
+                        transport,
                         active_count,
                         report,
                     );
@@ -782,6 +805,8 @@ impl Executor<ShardedTopology> for ShardedExecutor {
             metrics.max_message_bits = metrics.max_message_bits.max(r.max_message_bits);
             metrics.intra_shard_messages += r.intra;
             metrics.cross_shard_messages += r.cross;
+            metrics.wire_bytes_sent += r.wire_bytes;
+            metrics.transport_flush_nanos += r.flush_nanos;
             metrics.shard_phase_nanos.push(r.timings);
         }
         sync.rethrow();
@@ -790,7 +815,7 @@ impl Executor<ShardedTopology> for ShardedExecutor {
 
 /// Writes `msg` into the worker-owned slot `local`, enforcing the one
 /// message per edge per round CONGEST contract.
-fn fill_shard_slot<M>(
+pub(crate) fn fill_shard_slot<M>(
     slots: &mut [Option<M>],
     local: usize,
     msg: M,
@@ -807,9 +832,10 @@ fn fill_shard_slot<M>(
 }
 
 /// Routes one node's outbox: intra-shard messages go straight into the
-/// worker's own slots, cross-shard ones onto the `shard → target` queue.
+/// worker's own slots, cross-shard ones to the `cross` sink (the transport's
+/// staging in the executor, a wire-frame batch in the remote worker).
 #[allow(clippy::too_many_arguments)]
-fn route_outbox<M: MessageSize + Clone>(
+pub(crate) fn route_outbox<M: MessageSize + Clone>(
     topology: &ShardedTopology,
     shard: usize,
     v: NodeId,
@@ -817,10 +843,9 @@ fn route_outbox<M: MessageSize + Clone>(
     slots: &mut [Option<M>],
     slot_base: usize,
     touched: &mut Vec<usize>,
-    queues: &[Mutex<Vec<Staged<M>>>],
     report: &mut ShardReport,
+    cross: &mut impl FnMut(u32, u32, M),
 ) {
-    let shard_count = topology.num_shards();
     let slot_end = slot_base + slots.len();
     // The sender's shard is the calling worker's own, so every per-message
     // lookup below skips the `shard_of` search; only cross-shard messages
@@ -834,11 +859,7 @@ fn route_outbox<M: MessageSize + Clone>(
             fill_shard_slot(slots, dest - slot_base, msg, v, touched);
         } else {
             report.cross += 1;
-            let target = topology.shard_of_slot(dest);
-            queues[shard * shard_count + target]
-                .lock()
-                .expect("staging queue lock")
-                .push((dest as u32, v as u32, msg));
+            cross(dest as u32, v as u32, msg);
         }
     };
     match outbox {
@@ -861,7 +882,7 @@ fn route_outbox<M: MessageSize + Clone>(
 /// docs](self)): owns shard `shard`'s nodes and inbox slots for the whole
 /// run.
 #[allow(clippy::too_many_arguments)]
-fn sharded_worker_loop<A: NodeAlgorithm>(
+fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
     topology: &ShardedTopology,
     shard: usize,
     nodes: &mut [A],
@@ -871,11 +892,10 @@ fn sharded_worker_loop<A: NodeAlgorithm>(
     slot_base: usize,
     signal: &RoundSignal,
     sync: &PhaseSync,
-    queues: &[Mutex<Vec<Staged<A::Message>>>],
+    transport: &X,
     active_count: &AtomicUsize,
     report: &Mutex<ShardReport>,
 ) {
-    let shard_count = topology.num_shards();
     let mut active: Vec<NodeId> = Vec::new();
     let mut touched: Vec<usize> = Vec::new(); // shard-local slot indices
     let mut local = ShardReport::default();
@@ -899,7 +919,8 @@ fn sharded_worker_loop<A: NodeAlgorithm>(
             }
             let round = signal.round.load(Ordering::SeqCst);
 
-            // --- Send + route: clear own slots, stage this round's messages --
+            // --- Send + route: clear own slots, stage this round's
+            // messages, flush the transport at the send barrier ---------------
             sync.guard(|| {
                 let t = Instant::now();
                 for i in touched.drain(..) {
@@ -919,36 +940,34 @@ fn sharded_worker_loop<A: NodeAlgorithm>(
                         slots,
                         slot_base,
                         &mut touched,
-                        queues,
                         &mut local,
+                        &mut |slot, sender, msg| {
+                            let target = topology.shard_of_slot(slot as usize);
+                            transport.stage(shard, target, slot, sender, msg);
+                        },
                     );
                 }
                 local.timings.send += t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                local.wire_bytes += transport.flush(shard, round);
+                local.flush_nanos += t.elapsed().as_nanos() as u64;
             });
             if !sync.sync() {
-                break; // B: all routing staged
+                break; // B: all routing staged and flushed
             }
 
-            // --- Drain incoming cross-shard queues into own slots ------------
+            // --- Drain the incoming cross-shard channels into own slots ------
             sync.guard(|| {
                 let t = Instant::now();
-                for from in 0..shard_count {
-                    if from == shard {
-                        continue;
-                    }
-                    let mut q = queues[from * shard_count + shard]
-                        .lock()
-                        .expect("staging queue lock");
-                    for (slot, sender, msg) in q.drain(..) {
-                        fill_shard_slot(
-                            slots,
-                            slot as usize - slot_base,
-                            msg,
-                            sender as usize,
-                            &mut touched,
-                        );
-                    }
-                }
+                transport.drain(shard, round, &mut |slot, sender, msg| {
+                    fill_shard_slot(
+                        slots,
+                        slot as usize - slot_base,
+                        msg,
+                        sender as usize,
+                        &mut touched,
+                    );
+                });
                 local.timings.deliver += t.elapsed().as_nanos() as u64;
             });
             if !sync.sync() {

@@ -32,7 +32,15 @@
 //! * [`metrics::RunMetrics`] and [`bandwidth`] — round, message and bit
 //!   accounting so experiments can check the CONGEST `O(log n)`-bit bound,
 //!   plus a JSON-lines writer ([`metrics::JsonLinesWriter`]) for
-//!   machine-readable experiment rows.
+//!   machine-readable experiment rows,
+//! * [`wire`] — the binary wire codec: bit-exact message payloads
+//!   ([`wire::WireMessage`]) in length-prefixed, round-sequenced frames,
+//! * [`transport`] — the cross-shard transport seam behind the
+//!   [`executor::ShardedExecutor`]: in-process staging queues
+//!   ([`transport::InProcess`]), a wire-encoded socket mesh
+//!   ([`transport::SocketLoopback`]), and the multi-process
+//!   coordinator/worker protocol ([`transport::coordinate`] /
+//!   [`transport::serve_shard`]).
 //!
 //! The simulator is deterministic: given the same topology and the same
 //! (deterministic) node algorithms it always produces the same outputs,
@@ -48,6 +56,8 @@ pub mod metrics;
 pub mod sharded;
 pub mod simulator;
 pub mod topology;
+pub mod transport;
+pub mod wire;
 
 pub use algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 pub use bandwidth::BandwidthReport;
@@ -56,3 +66,5 @@ pub use metrics::{JsonLinesWriter, PhaseTimings, RunMetrics};
 pub use sharded::ShardedTopology;
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
 pub use topology::{BallScratch, NodeId, Port, Topology, TopologyError, TopologyView};
+pub use transport::{InProcess, SocketLoopback, Transport, TransportBuilder, TransportMessage};
+pub use wire::{BitReader, BitWriter, WireError, WireMessage};

@@ -75,6 +75,15 @@ pub struct RunMetrics {
     /// [`RunMetrics::phase_nanos`] these are measurements, exempt from the
     /// executor-equivalence guarantee.
     pub shard_phase_nanos: Vec<PhaseTimings>,
+    /// Total bytes of sealed wire frames the cross-shard transport produced
+    /// (length prefixes and frame headers included).  Zero for in-memory
+    /// backends, which move messages as Rust values; deterministic for a
+    /// given socket backend, but backend-specific — so, like the wall-clock
+    /// timings, exempt from the executor-equivalence guarantee.
+    pub wire_bytes_sent: u64,
+    /// Cumulative wall-clock time the transport spent sealing and flushing
+    /// frames at the send barrier, in nanoseconds (summed across shards).
+    pub transport_flush_nanos: u64,
 }
 
 impl RunMetrics {
@@ -98,6 +107,8 @@ impl RunMetrics {
         self.phase_nanos.receive += other.phase_nanos.receive;
         self.intra_shard_messages += other.intra_shard_messages;
         self.cross_shard_messages += other.cross_shard_messages;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.transport_flush_nanos += other.transport_flush_nanos;
         if self.shard_phase_nanos.len() < other.shard_phase_nanos.len() {
             self.shard_phase_nanos
                 .resize(other.shard_phase_nanos.len(), PhaseTimings::default());
@@ -146,6 +157,11 @@ impl RunMetrics {
         out.push_str(&format!(
             ",\"cross_shard_messages\":{}",
             self.cross_shard_messages
+        ));
+        out.push_str(&format!(",\"wire_bytes_sent\":{}", self.wire_bytes_sent));
+        out.push_str(&format!(
+            ",\"transport_flush_nanos\":{}",
+            self.transport_flush_nanos
         ));
         out.push_str(",\"active_per_round\":[");
         for (i, a) in self.active_per_round.iter().enumerate() {
@@ -301,6 +317,68 @@ mod tests {
         assert_eq!(a.shard_phase_nanos[1].receive, 300);
     }
 
+    /// Exhaustiveness regression for [`RunMetrics::merge`]: every field is
+    /// nonzero on both sides and the expected result is spelled out as a
+    /// **complete struct literal** (no `..Default::default()`), so adding a
+    /// field to `RunMetrics` without deciding its merge semantics fails to
+    /// compile here, and forgetting the `merge` line fails the assertion.
+    #[test]
+    fn merge_handles_every_field() {
+        let mk = |scale: u64| RunMetrics {
+            rounds: 11 * scale,
+            messages: 2 * scale,
+            total_bits: 30 * scale,
+            max_message_bits: 20 * scale,
+            hit_round_cap: scale > 1,
+            active_per_round: vec![scale as usize],
+            phase_nanos: PhaseTimings {
+                send: 5 * scale,
+                deliver: 7 * scale,
+                receive: 9 * scale,
+            },
+            intra_shard_messages: 3 * scale,
+            cross_shard_messages: 4 * scale,
+            shard_phase_nanos: vec![PhaseTimings {
+                send: scale,
+                deliver: 2 * scale,
+                receive: 3 * scale,
+            }],
+            wire_bytes_sent: 100 * scale,
+            transport_flush_nanos: 200 * scale,
+        };
+        let mut a = mk(1);
+        a.merge(&mk(10));
+        let expected = RunMetrics {
+            // Deliberately untouched by merge: rounds, the cap flag and the
+            // per-round drain profile belong to a single run, not a
+            // multi-phase pipeline sum (pipelines account rounds themselves).
+            rounds: 11,
+            hit_round_cap: false,
+            active_per_round: vec![1],
+            // Summed.
+            messages: 22,
+            total_bits: 330,
+            phase_nanos: PhaseTimings {
+                send: 55,
+                deliver: 77,
+                receive: 99,
+            },
+            intra_shard_messages: 33,
+            cross_shard_messages: 44,
+            wire_bytes_sent: 1100,
+            transport_flush_nanos: 2200,
+            // Maxed.
+            max_message_bits: 200,
+            // Summed per shard index.
+            shard_phase_nanos: vec![PhaseTimings {
+                send: 11,
+                deliver: 22,
+                receive: 33,
+            }],
+        };
+        assert_eq!(a, expected);
+    }
+
     #[test]
     fn json_line_is_complete_and_escaped() {
         let mut m = RunMetrics::default();
@@ -308,6 +386,8 @@ mod tests {
         m.rounds = 2;
         m.active_per_round = vec![3, 1];
         m.intra_shard_messages = 1;
+        m.wire_bytes_sent = 77;
+        m.transport_flush_nanos = 88;
         m.shard_phase_nanos = vec![PhaseTimings {
             send: 4,
             deliver: 5,
@@ -323,6 +403,8 @@ mod tests {
         assert!(line.contains("\"active_per_round\":[3,1]"));
         assert!(line.contains("\"intra_shard_messages\":1"));
         assert!(line.contains("\"cross_shard_messages\":0"));
+        assert!(line.contains("\"wire_bytes_sent\":77"));
+        assert!(line.contains("\"transport_flush_nanos\":88"));
         assert!(line.contains("\"shard_phase_nanos\":[{\"send\":4,\"deliver\":5,\"receive\":6}]"));
         // Balanced braces/brackets — a cheap well-formedness check given the
         // workspace has no JSON parser to round-trip with.

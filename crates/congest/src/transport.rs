@@ -1,0 +1,1160 @@
+//! The cross-shard transport subsystem.
+//!
+//! The [`ShardedExecutor`](crate::executor::ShardedExecutor) moves
+//! cross-shard messages through a [`Transport`]: a round-framed channel
+//! between shards that is **staged** during the send phase, **flushed** at
+//! the send barrier and **drained** before delivery completes.  Three
+//! backends ship today:
+//!
+//! * [`InProcess`] — per-shard-pair staging queues in shared memory (the
+//!   original `ShardedExecutor` mechanism, now behind the trait).  Messages
+//!   move as Rust values; nothing is encoded.
+//! * [`SocketLoopback`] — every shard pair is connected by a real socket
+//!   (Unix-domain or TCP loopback) and every cross-shard message crosses it
+//!   through the [`wire`](crate::wire) codec: length-prefixed,
+//!   round-sequenced frames of bit-exact payloads.  Same process, real
+//!   kernel wire — this is what makes the CONGEST bandwidth accounting
+//!   verifiable against actual encoded bytes.
+//! * The **remote protocol** ([`serve_shard`] / [`coordinate`]) — one
+//!   process per shard plus a coordinator, exchanging the same frames over
+//!   blocking links (TCP in the `exp_worker` binary).  The coordinator
+//!   relays data frames between workers, carries the halting votes
+//!   ([`FrameKind::Vote`]) and merges the per-shard counters.
+//!
+//! # Round framing
+//!
+//! Per round, shard `w` seals **one data frame per other shard** — empty if
+//! no message crossed that pair — so a receiver always knows how many frames
+//! to expect and every frame is stamped with its round
+//! ([`FrameHeader::expect`] rejects out-of-sequence frames).  `flush`
+//! returns the sealed frame bytes, which the executor accumulates into
+//! [`RunMetrics::wire_bytes_sent`](crate::RunMetrics::wire_bytes_sent);
+//! the time spent flushing lands in
+//! [`RunMetrics::transport_flush_nanos`](crate::RunMetrics::transport_flush_nanos).
+//!
+//! # Deadlock discipline of the socket-loopback drain
+//!
+//! All shards drain concurrently between two barriers, so a naive
+//! "write everything, then read everything" ordering can deadlock once
+//! frames outgrow the kernel socket buffers.  [`SocketTransport`] therefore
+//! drains in three strictly ordered steps:
+//!
+//! 1. finish writing its own sealed frames, *reading opportunistically* so
+//!    peers are never blocked on a full buffer;
+//! 2. keep reading raw bytes until one complete frame per peer is buffered
+//!    (no decoding yet);
+//! 3. decode and deliver.
+//!
+//! Steps 1–2 perform no decoding and cannot panic on algorithm-level
+//! violations; by the time step 3 runs, every byte this shard owes its
+//! peers is already handed to the kernel, so a panic in step 3 (codec
+//! mismatch, CONGEST double-send) unwinds through the executor's poison
+//! barriers without stranding a peer mid-read.
+
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext};
+use crate::executor::{route_outbox, ShardReport};
+use crate::metrics::RunMetrics;
+use crate::sharded::ShardedTopology;
+use crate::simulator::RunOutcome;
+use crate::topology::TopologyView;
+use crate::wire::{
+    for_each_data_entry, get_u32, get_u64, put_u32, put_u64, read_frame, write_frame,
+    DataFrameBuilder, Frame, FrameBuffer, FrameHeader, FrameKind, WireMessage,
+};
+
+/// The pseudo shard index of the coordinator in remote frames.
+pub const COORDINATOR: u16 = u16::MAX;
+
+/// Frames address shards as `u16`, and [`COORDINATOR`] reserves `u16::MAX`,
+/// so wire-facing backends support at most this many shards.
+pub const MAX_WIRE_SHARDS: usize = u16::MAX as usize;
+
+/// Rejects shard layouts the `u16` frame addressing cannot represent.
+fn check_wire_shard_count(shards: usize) -> std::io::Result<()> {
+    if shards >= MAX_WIRE_SHARDS {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{shards} shards exceed the wire limit of {} (u16 addressing, u16::MAX reserved for the coordinator)", MAX_WIRE_SHARDS - 1),
+        ));
+    }
+    Ok(())
+}
+
+/// The bounds a message type needs to cross a shard boundary: the engine
+/// bounds of [`NodeAlgorithm::Message`] plus a wire codec.
+///
+/// Blanket-implemented; every `NodeAlgorithm::Message` qualifies.
+pub trait TransportMessage: Clone + Send + Sync + MessageSize + WireMessage {}
+
+impl<T: Clone + Send + Sync + MessageSize + WireMessage> TransportMessage for T {}
+
+/// A round-framed cross-shard channel (see the [module docs](self)).
+///
+/// Calling discipline, upheld by the executor: `stage(from, ..)`, `flush
+/// (from, ..)` and `drain(from, ..)` are only ever invoked by the worker
+/// that owns shard `from`, and per round every shard stages, then all
+/// shards cross the send barrier, then every shard flushes exactly once,
+/// then all shards drain exactly once — so implementations may assume one
+/// writer per pair queue and one frame per pair per round.
+pub trait Transport<M: TransportMessage>: Sync {
+    /// Stages one cross-shard message: `slot` is the destination's global
+    /// inbox slot, `sender` the sending node.  Called during the send phase
+    /// by the owner of `from`.
+    fn stage(&self, from: usize, to: usize, slot: u32, sender: u32, msg: M);
+
+    /// Seals shard `from`'s staged batches for `round` at the send barrier;
+    /// returns the wire bytes this flush produced (0 for in-memory
+    /// backends).
+    fn flush(&self, from: usize, round: u64) -> u64;
+
+    /// Delivers every message addressed to shard `to` for `round`, in
+    /// sending-shard order, by invoking `sink(slot, sender, message)`.
+    fn drain(&self, to: usize, round: u64, sink: &mut dyn FnMut(u32, u32, M));
+}
+
+/// Builds a [`Transport`] for a concrete message type at run start.
+///
+/// The executor is configured with a builder (not a transport) because the
+/// message type is chosen per run by the algorithm, while the backend choice
+/// is an executor-level decision.
+pub trait TransportBuilder: Sync {
+    /// The transport this builder produces.
+    type Transport<M: TransportMessage>: Transport<M>;
+
+    /// Builds the per-run transport for `topology`'s shard layout.
+    fn build<M: TransportMessage>(
+        &self,
+        topology: &ShardedTopology,
+    ) -> std::io::Result<Self::Transport<M>>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend
+// ---------------------------------------------------------------------------
+
+/// The in-memory transport backend: messages stay Rust values and move
+/// through per-shard-pair staging queues.  This is the
+/// [`ShardedExecutor`](crate::executor::ShardedExecutor)'s default and is
+/// bit-for-bit the pre-transport behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InProcess;
+
+/// The queues of the [`InProcess`] backend: `queues[from * S + to]` is
+/// written only by shard `from` (send phase) and read only by shard `to`
+/// (drain phase), with a barrier in between, so each mutex is uncontended
+/// by construction.
+#[derive(Debug)]
+pub struct InProcessTransport<M> {
+    shards: usize,
+    queues: Vec<Mutex<Vec<(u32, u32, M)>>>,
+}
+
+impl<M: TransportMessage> Transport<M> for InProcessTransport<M> {
+    fn stage(&self, from: usize, to: usize, slot: u32, sender: u32, msg: M) {
+        self.queues[from * self.shards + to]
+            .lock()
+            .expect("staging queue lock")
+            .push((slot, sender, msg));
+    }
+
+    fn flush(&self, _from: usize, _round: u64) -> u64 {
+        0 // nothing to seal: values are already where the reader will look
+    }
+
+    fn drain(&self, to: usize, _round: u64, sink: &mut dyn FnMut(u32, u32, M)) {
+        for from in 0..self.shards {
+            if from == to {
+                continue;
+            }
+            let mut q = self.queues[from * self.shards + to]
+                .lock()
+                .expect("staging queue lock");
+            for (slot, sender, msg) in q.drain(..) {
+                sink(slot, sender, msg);
+            }
+        }
+    }
+}
+
+impl TransportBuilder for InProcess {
+    type Transport<M: TransportMessage> = InProcessTransport<M>;
+
+    fn build<M: TransportMessage>(
+        &self,
+        topology: &ShardedTopology,
+    ) -> std::io::Result<InProcessTransport<M>> {
+        let shards = topology.num_shards();
+        Ok(InProcessTransport {
+            shards,
+            queues: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket-loopback backend
+// ---------------------------------------------------------------------------
+
+/// Socket family of a [`SocketLoopback`] mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopbackKind {
+    #[cfg(unix)]
+    Unix,
+    Tcp,
+}
+
+/// Builds a full socket mesh between the shards of one process: every shard
+/// pair gets a kernel socket, and every cross-shard message crosses it wire
+/// encoded.  Use [`SocketLoopback::unix`] for Unix-domain socketpairs or
+/// [`SocketLoopback::tcp`] for TCP over `127.0.0.1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketLoopback {
+    kind: LoopbackKind,
+}
+
+impl SocketLoopback {
+    /// A mesh of Unix-domain socketpairs (no filesystem paths involved).
+    #[cfg(unix)]
+    pub fn unix() -> Self {
+        Self {
+            kind: LoopbackKind::Unix,
+        }
+    }
+
+    /// A mesh of TCP connections over `127.0.0.1` (ephemeral ports).
+    pub fn tcp() -> Self {
+        Self {
+            kind: LoopbackKind::Tcp,
+        }
+    }
+}
+
+/// One endpoint of a loopback socket, either family.
+#[derive(Debug)]
+enum LoopbackStream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl LoopbackStream {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            LoopbackStream::Unix(s) => s.set_nonblocking(true),
+            LoopbackStream::Tcp(s) => s.set_nonblocking(true),
+        }
+    }
+
+    fn write_nb(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            LoopbackStream::Unix(s) => s.write(bytes),
+            LoopbackStream::Tcp(s) => s.write(bytes),
+        }
+    }
+
+    fn read_nb(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            LoopbackStream::Unix(s) => s.read(buf),
+            LoopbackStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+/// Per-(owner, peer) endpoint state.  Cell `links[owner * S + peer]` is
+/// touched only by the worker owning `owner` (the mutex exists to satisfy
+/// `Sync`, not because of contention): it writes `owner → peer` frames and
+/// reads `peer → owner` frames on the same duplex stream.
+#[derive(Debug)]
+struct PeerLink {
+    stream: LoopbackStream,
+    /// Messages staged for `peer` this round, pre-encoding.
+    batch: DataFrameBuilder,
+    /// Sealed-but-unwritten frame bytes.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Raw inbound bytes, reassembled into frames.
+    inbox: FrameBuffer,
+    /// The (single) complete inbound frame of the current round.
+    frame: Option<Frame>,
+}
+
+impl PeerLink {
+    /// Nonblocking write pass over the pending bytes; true if it progressed.
+    fn pump_out(&mut self) -> bool {
+        let mut progressed = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write_nb(&self.out[self.out_pos..]) {
+                Ok(0) => panic!("loopback transport peer closed its socket"),
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("loopback transport write failed: {e}"),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        progressed
+    }
+
+    fn write_done(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+
+    /// Nonblocking read pass into the frame buffer; true if it progressed.
+    fn pump_in(&mut self) -> bool {
+        let mut progressed = false;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read_nb(&mut buf) {
+                Ok(0) => panic!("loopback transport peer closed its socket"),
+                Ok(n) => {
+                    self.inbox.feed(&buf[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("loopback transport read failed: {e}"),
+            }
+        }
+        progressed
+    }
+}
+
+/// The socket-loopback transport: one kernel socket per shard pair, frames
+/// through the [`wire`](crate::wire) codec.  Built by [`SocketLoopback`].
+#[derive(Debug)]
+pub struct SocketTransport<M> {
+    shards: usize,
+    /// `S × S` cells; the diagonal is `None`.
+    links: Vec<Option<Mutex<PeerLink>>>,
+    _msg: PhantomData<fn(M) -> M>,
+}
+
+impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
+    fn stage(&self, from: usize, to: usize, slot: u32, sender: u32, msg: M) {
+        let mut link = self.link(from, to);
+        link.batch.push(slot, sender, &msg);
+    }
+
+    fn flush(&self, from: usize, round: u64) -> u64 {
+        let mut bytes = 0;
+        for to in 0..self.shards {
+            if to == from {
+                continue;
+            }
+            let mut link = self.link(from, to);
+            debug_assert!(link.write_done(), "previous round left unwritten bytes");
+            let mut out = std::mem::take(&mut link.out);
+            bytes += link.batch.seal(round, from as u16, to as u16, &mut out);
+            link.out = out;
+            // Opportunistic write so the drain phase has less to do.
+            link.pump_out();
+        }
+        bytes
+    }
+
+    fn drain(&self, to: usize, round: u64, sink: &mut dyn FnMut(u32, u32, M)) {
+        // Step 1: hand every byte we owe to the kernel, reading as we go so
+        // no peer ever stalls on a full buffer waiting for us.
+        loop {
+            let mut pending = false;
+            let mut progressed = false;
+            for peer in 0..self.shards {
+                if peer == to {
+                    continue;
+                }
+                let mut link = self.link(to, peer);
+                progressed |= link.pump_out();
+                pending |= !link.write_done();
+                progressed |= link.pump_in();
+            }
+            if !pending {
+                break;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        // Step 2: buffer raw bytes until one complete frame per peer is in
+        // hand.  No decoding yet — nothing here can panic on algorithm-level
+        // violations, so peers can always finish their own step 1.
+        loop {
+            let mut missing = false;
+            let mut progressed = false;
+            for peer in 0..self.shards {
+                if peer == to {
+                    continue;
+                }
+                let mut link = self.link(to, peer);
+                if link.frame.is_some() {
+                    continue;
+                }
+                progressed |= link.pump_in();
+                match link.inbox.next_frame() {
+                    Ok(Some(frame)) => {
+                        link.frame = Some(frame);
+                        progressed = true;
+                    }
+                    Ok(None) => missing = true,
+                    Err(e) => panic!("loopback transport received a malformed frame: {e}"),
+                }
+            }
+            if !missing {
+                break;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        // Step 3: validate, decode and deliver in sending-shard order.
+        for peer in 0..self.shards {
+            if peer == to {
+                continue;
+            }
+            let frame = self.link(to, peer).frame.take().expect("frame buffered");
+            assert_eq!(frame.header.kind, FrameKind::Data, "expected a data frame");
+            frame
+                .header
+                .expect(round, peer as u16, to as u16)
+                .unwrap_or_else(|e| panic!("loopback transport frame out of sequence: {e}"));
+            for_each_data_entry::<M>(&frame.payload, &mut *sink)
+                .unwrap_or_else(|e| panic!("loopback transport payload failed to decode: {e}"));
+        }
+    }
+}
+
+impl<M> SocketTransport<M> {
+    fn link(&self, owner: usize, peer: usize) -> std::sync::MutexGuard<'_, PeerLink> {
+        self.links[owner * self.shards + peer]
+            .as_ref()
+            .expect("no link on the diagonal")
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl TransportBuilder for SocketLoopback {
+    type Transport<M: TransportMessage> = SocketTransport<M>;
+
+    fn build<M: TransportMessage>(
+        &self,
+        topology: &ShardedTopology,
+    ) -> std::io::Result<SocketTransport<M>> {
+        let shards = topology.num_shards();
+        check_wire_shard_count(shards)?;
+        let mut links: Vec<Option<Mutex<PeerLink>>> = Vec::with_capacity(shards * shards);
+        links.resize_with(shards * shards, || None);
+        let listener = match self.kind {
+            LoopbackKind::Tcp => Some(std::net::TcpListener::bind("127.0.0.1:0")?),
+            #[cfg(unix)]
+            LoopbackKind::Unix => None,
+        };
+        for a in 0..shards {
+            for b in a + 1..shards {
+                let (ea, eb) = match self.kind {
+                    #[cfg(unix)]
+                    LoopbackKind::Unix => {
+                        let (x, y) = std::os::unix::net::UnixStream::pair()?;
+                        (LoopbackStream::Unix(x), LoopbackStream::Unix(y))
+                    }
+                    LoopbackKind::Tcp => {
+                        let listener = listener.as_ref().expect("tcp listener");
+                        let connect = std::net::TcpStream::connect(listener.local_addr()?)?;
+                        let (accept, _) = listener.accept()?;
+                        connect.set_nodelay(true)?;
+                        accept.set_nodelay(true)?;
+                        (LoopbackStream::Tcp(connect), LoopbackStream::Tcp(accept))
+                    }
+                };
+                ea.set_nonblocking()?;
+                eb.set_nonblocking()?;
+                links[a * shards + b] = Some(Mutex::new(PeerLink {
+                    stream: ea,
+                    batch: DataFrameBuilder::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    inbox: FrameBuffer::new(),
+                    frame: None,
+                }));
+                links[b * shards + a] = Some(Mutex::new(PeerLink {
+                    stream: eb,
+                    batch: DataFrameBuilder::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    inbox: FrameBuffer::new(),
+                    frame: None,
+                }));
+            }
+        }
+        Ok(SocketTransport {
+            shards,
+            links,
+            _msg: PhantomData,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The remote (multi-process) protocol
+// ---------------------------------------------------------------------------
+
+/// Serves one shard of a simulation over a blocking link to the coordinator
+/// — the worker-process half of the multi-process backend (the `exp_worker`
+/// binary is a thin wrapper around this).
+///
+/// `nodes` holds exactly the state machines of `topology.shard_nodes(shard)`
+/// in node order; they are initialised here with their global contexts, so
+/// every process derives identical state from identical inputs.
+///
+/// Per round the worker: receives the coordinator's
+/// [`RoundStart`](FrameKind::RoundStart); runs the send phase, filling its
+/// own inbox slots directly for intra-shard traffic and wire-encoding
+/// cross-shard messages into one data frame per destination shard; flushes
+/// those frames to the coordinator (which relays them); reads the relayed
+/// frames of the other shards and fills its slots; runs the receive phase;
+/// and reports its halting vote ([`Vote`](FrameKind::Vote), the shard's
+/// active count).  On stop it sends one [`Output`](FrameKind::Output) frame
+/// carrying its counters and its nodes' wire-encoded outputs.
+///
+/// # Errors
+///
+/// Propagates link I/O failures and protocol violations as `io::Error`.
+///
+/// # Panics
+///
+/// Panics on CONGEST contract violations by the algorithm (double-send on a
+/// port), exactly like the in-process executors.
+pub fn serve_shard<A: NodeAlgorithm, L: Read + Write>(
+    link: &mut L,
+    topology: &ShardedTopology,
+    shard: usize,
+    mut nodes: Vec<A>,
+) -> std::io::Result<()>
+where
+    A::Output: WireMessage,
+{
+    let node_range = topology.shard_nodes(shard);
+    let slot_range = topology.shard_slots(shard);
+    assert_eq!(
+        nodes.len(),
+        node_range.len(),
+        "need exactly one algorithm instance per shard node"
+    );
+    let n = topology.num_nodes();
+    let shards = topology.num_shards();
+    check_wire_shard_count(shards)?;
+    let me = shard as u16;
+
+    let contexts: Vec<NodeContext> = node_range
+        .clone()
+        .map(|v| NodeContext {
+            node: v,
+            degree: topology.degree_from(shard, v),
+            n,
+            max_degree: topology.max_degree(),
+            round: 0,
+        })
+        .collect();
+    for (node, ctx) in nodes.iter_mut().zip(&contexts) {
+        node.init(ctx);
+    }
+
+    let mut slots: Vec<Option<A::Message>> = (0..slot_range.len()).map(|_| None).collect();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut active: Vec<usize> = (0..nodes.len())
+        .filter(|&i| !nodes[i].is_halted())
+        .map(|i| node_range.start + i)
+        .collect();
+    let mut report = ShardReport::default();
+    let mut batches: Vec<DataFrameBuilder> = (0..shards).map(|_| DataFrameBuilder::new()).collect();
+    let mut outbuf: Vec<u8> = Vec::new();
+
+    // Initial halting vote: the active count before round 0.
+    write_vote(link, 0, me, active.len() as u64)?;
+
+    let mut round: u64 = 0;
+    loop {
+        let frame = read_frame(link)?;
+        if frame.header.kind != FrameKind::RoundStart {
+            return Err(protocol_error("expected a RoundStart frame"));
+        }
+        frame.header.expect(round, COORDINATOR, me)?;
+        let stop = *frame
+            .payload
+            .first()
+            .ok_or_else(|| protocol_error("RoundStart frame missing its stop flag"))?
+            != 0;
+        if stop {
+            break;
+        }
+
+        // --- Send + route ------------------------------------------------
+        let t = Instant::now();
+        for i in touched.drain(..) {
+            slots[i] = None;
+        }
+        for &v in &active {
+            let ctx = NodeContext {
+                round,
+                ..contexts[v - node_range.start]
+            };
+            let outbox = nodes[v - node_range.start].send(&ctx);
+            route_outbox(
+                topology,
+                shard,
+                v,
+                outbox,
+                &mut slots,
+                slot_range.start,
+                &mut touched,
+                &mut report,
+                &mut |slot, sender, msg| {
+                    let target = topology.shard_of_slot(slot as usize);
+                    batches[target].push(slot, sender, &msg);
+                },
+            );
+        }
+        report.timings.send += t.elapsed().as_nanos() as u64;
+
+        // --- Flush: one data frame per destination shard, via the
+        // coordinator relay --------------------------------------------
+        let t = Instant::now();
+        outbuf.clear();
+        for (to, batch) in batches.iter_mut().enumerate() {
+            if to == shard {
+                continue;
+            }
+            report.wire_bytes += batch.seal(round, me, to as u16, &mut outbuf);
+        }
+        link.write_all(&outbuf)?;
+        link.flush()?;
+        report.flush_nanos += t.elapsed().as_nanos() as u64;
+
+        // --- Drain the relayed frames of every other shard ---------------
+        let t = Instant::now();
+        for from in 0..shards {
+            if from == shard {
+                continue;
+            }
+            let frame = read_frame(link)?;
+            if frame.header.kind != FrameKind::Data {
+                return Err(protocol_error("expected a relayed data frame"));
+            }
+            frame.header.expect(round, from as u16, me)?;
+            for_each_data_entry::<A::Message>(&frame.payload, |slot, sender, msg| {
+                crate::executor::fill_shard_slot(
+                    &mut slots,
+                    slot as usize - slot_range.start,
+                    msg,
+                    sender as usize,
+                    &mut touched,
+                );
+            })?;
+        }
+        report.timings.deliver += t.elapsed().as_nanos() as u64;
+
+        // --- Receive + compact + vote ------------------------------------
+        let t = Instant::now();
+        for &v in &active {
+            let ctx = NodeContext {
+                round,
+                ..contexts[v - node_range.start]
+            };
+            let r = topology.port_range(v);
+            let inbox =
+                Inbox::from_slots(&slots[r.start - slot_range.start..r.end - slot_range.start]);
+            nodes[v - node_range.start].receive(&ctx, &inbox);
+        }
+        active.retain(|&v| !nodes[v - node_range.start].is_halted());
+        report.timings.receive += t.elapsed().as_nanos() as u64;
+        round += 1;
+        write_vote(link, round, me, active.len() as u64)?;
+    }
+
+    // --- Final report: counters + wire-encoded outputs -------------------
+    let mut payload = Vec::new();
+    for v in [
+        report.messages,
+        report.total_bits,
+        report.max_message_bits,
+        report.intra,
+        report.cross,
+        report.wire_bytes,
+        report.flush_nanos,
+        report.timings.send,
+        report.timings.deliver,
+        report.timings.receive,
+    ] {
+        put_u64(&mut payload, v);
+    }
+    put_u32(&mut payload, nodes.len() as u32);
+    let mut w = crate::wire::BitWriter::new();
+    for (i, node) in nodes.iter().enumerate() {
+        w.clear();
+        let aux = node.output().encode(&mut w);
+        let bits = u16::try_from(w.bits_written()).expect("output exceeds u16 bits");
+        put_u32(&mut payload, (node_range.start + i) as u32);
+        payload.extend_from_slice(&bits.to_le_bytes());
+        payload.push(aux);
+        payload.extend_from_slice(w.as_bytes());
+    }
+    write_frame(
+        link,
+        FrameHeader {
+            kind: FrameKind::Output,
+            round,
+            from: me,
+            to: COORDINATOR,
+        },
+        &payload,
+    )?;
+    link.flush()?;
+    Ok(())
+}
+
+/// Drives a multi-process run from the coordinator side: one blocking link
+/// per shard worker (in any order — workers are identified by the shard
+/// index of their initial vote).
+///
+/// The coordinator relays each round's data frames between the workers,
+/// tallies the halting votes to decide rounds exactly like the in-process
+/// executors, and finally merges the per-shard counters (in shard order,
+/// so totals are deterministic) and reassembles the node outputs.
+///
+/// `O` is the workers' output type ([`NodeAlgorithm::Output`] with a wire
+/// codec).
+///
+/// # Errors
+///
+/// Propagates link I/O failures and protocol violations as `io::Error`.
+pub fn coordinate<O: WireMessage, L: Read + Write>(
+    links: Vec<L>,
+    topology: &ShardedTopology,
+    max_rounds: u64,
+) -> std::io::Result<RunOutcome<O>> {
+    let shards = topology.num_shards();
+    check_wire_shard_count(shards)?;
+    if links.len() != shards {
+        return Err(protocol_error("need exactly one link per shard"));
+    }
+
+    // Identify each link by the shard index of its initial vote.
+    let mut by_shard: Vec<Option<(L, u64)>> = Vec::with_capacity(shards);
+    by_shard.resize_with(shards, || None);
+    for mut link in links {
+        let frame = read_frame(&mut link)?;
+        if frame.header.kind != FrameKind::Vote || frame.header.round != 0 {
+            return Err(protocol_error("expected an initial vote frame"));
+        }
+        let shard = frame.header.from as usize;
+        let active = parse_vote(&frame)?;
+        let slot = by_shard
+            .get_mut(shard)
+            .ok_or_else(|| protocol_error("vote from an out-of-range shard"))?;
+        if slot.is_some() {
+            return Err(protocol_error("two links voted for the same shard"));
+        }
+        *slot = Some((link, active));
+    }
+    let mut links: Vec<L> = Vec::with_capacity(shards);
+    let mut counts: Vec<u64> = Vec::with_capacity(shards);
+    for slot in by_shard {
+        let (link, active) = slot.ok_or_else(|| protocol_error("a shard never connected"))?;
+        links.push(link);
+        counts.push(active);
+    }
+
+    let mut metrics = RunMetrics::default();
+    let mut round: u64 = 0;
+    let mut relay: Vec<Vec<Option<Frame>>> = (0..shards)
+        .map(|_| (0..shards).map(|_| None).collect())
+        .collect();
+    loop {
+        let total: u64 = counts.iter().sum();
+        let stop = if total == 0 {
+            true
+        } else if round >= max_rounds {
+            metrics.hit_round_cap = true;
+            true
+        } else {
+            metrics.active_per_round.push(total as usize);
+            false
+        };
+        for (s, link) in links.iter_mut().enumerate() {
+            write_frame(
+                link,
+                FrameHeader {
+                    kind: FrameKind::RoundStart,
+                    round,
+                    from: COORDINATOR,
+                    to: s as u16,
+                },
+                &[u8::from(stop)],
+            )?;
+            link.flush()?;
+        }
+        if stop {
+            break;
+        }
+
+        // --- Collect every worker's outbound data frames ------------------
+        let t = Instant::now();
+        for (s, link) in links.iter_mut().enumerate() {
+            for (to, slot) in relay[s].iter_mut().enumerate() {
+                if to == s {
+                    continue;
+                }
+                let frame = read_frame(link)?;
+                if frame.header.kind != FrameKind::Data {
+                    return Err(protocol_error("expected a data frame"));
+                }
+                frame.header.expect(round, s as u16, to as u16)?;
+                *slot = Some(frame);
+            }
+        }
+        metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+
+        // --- Relay them, in sending-shard order per receiver --------------
+        let t = Instant::now();
+        for (to, link) in links.iter_mut().enumerate() {
+            for row in relay.iter_mut() {
+                if let Some(frame) = row[to].take() {
+                    write_frame(link, frame.header, &frame.payload)?;
+                }
+            }
+            link.flush()?;
+        }
+        metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+
+        // --- Tally the halting votes --------------------------------------
+        let t = Instant::now();
+        round += 1;
+        for (s, link) in links.iter_mut().enumerate() {
+            let frame = read_frame(link)?;
+            if frame.header.kind != FrameKind::Vote {
+                return Err(protocol_error("expected a vote frame"));
+            }
+            frame.header.expect(round, s as u16, COORDINATOR)?;
+            counts[s] = parse_vote(&frame)?;
+        }
+        metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+    }
+    metrics.rounds = round;
+
+    // --- Merge the final reports in shard order ---------------------------
+    let mut outputs: Vec<Option<O>> = Vec::with_capacity(topology.num_nodes());
+    outputs.resize_with(topology.num_nodes(), || None);
+    for (s, link) in links.iter_mut().enumerate() {
+        let frame = read_frame(link)?;
+        if frame.header.kind != FrameKind::Output {
+            return Err(protocol_error("expected an output frame"));
+        }
+        frame.header.expect(round, s as u16, COORDINATOR)?;
+        let p = &frame.payload;
+        metrics.messages += get_u64(p, 0)?;
+        metrics.total_bits += get_u64(p, 8)?;
+        metrics.max_message_bits = metrics.max_message_bits.max(get_u64(p, 16)?);
+        metrics.intra_shard_messages += get_u64(p, 24)?;
+        metrics.cross_shard_messages += get_u64(p, 32)?;
+        metrics.wire_bytes_sent += get_u64(p, 40)?;
+        metrics.transport_flush_nanos += get_u64(p, 48)?;
+        metrics
+            .shard_phase_nanos
+            .push(crate::metrics::PhaseTimings {
+                send: get_u64(p, 56)?,
+                deliver: get_u64(p, 64)?,
+                receive: get_u64(p, 72)?,
+            });
+        let count = get_u32(p, 80)? as usize;
+        let mut at = 84usize;
+        for _ in 0..count {
+            let node = get_u32(p, at)? as usize;
+            let bits = crate::wire::get_u16(p, at + 4)?;
+            let aux = *p
+                .get(at + 6)
+                .ok_or_else(|| protocol_error("truncated output entry"))?;
+            let nbytes = (bits as usize).div_ceil(8);
+            let body = p
+                .get(at + 7..at + 7 + nbytes)
+                .ok_or_else(|| protocol_error("truncated output payload"))?;
+            let out = crate::wire::decode_payload::<O>(bits, aux, body)?;
+            let slot = outputs
+                .get_mut(node)
+                .ok_or_else(|| protocol_error("output for an out-of-range node"))?;
+            if slot.replace(out).is_some() {
+                return Err(protocol_error("two outputs for one node"));
+            }
+            at += 7 + nbytes;
+        }
+        if at != p.len() {
+            return Err(protocol_error("trailing bytes after the output entries"));
+        }
+    }
+    let outputs: Vec<O> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(v, o)| o.ok_or_else(|| protocol_error(&format!("no output for node {v}"))))
+        .collect::<Result<_, _>>()?;
+    Ok(RunOutcome { outputs, metrics })
+}
+
+fn write_vote(link: &mut impl Write, round: u64, from: u16, active: u64) -> std::io::Result<()> {
+    write_frame(
+        link,
+        FrameHeader {
+            kind: FrameKind::Vote,
+            round,
+            from,
+            to: COORDINATOR,
+        },
+        &active.to_le_bytes(),
+    )?;
+    link.flush()
+}
+
+fn parse_vote(frame: &Frame) -> std::io::Result<u64> {
+    get_u64(&frame.payload, 0).map_err(Into::into)
+}
+
+fn protocol_error(msg: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("transport protocol: {msg}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Outbox;
+    use crate::executor::ShardedExecutor;
+    use crate::simulator::Simulator;
+    use crate::topology::Topology;
+
+    /// Gossip with per-node ttl: broadcasts `id + round`, digests what it
+    /// hears, halts after `ttl` rounds.
+    #[derive(Clone)]
+    struct Gossip {
+        id: u64,
+        ttl: u64,
+        digest: u64,
+        rounds_done: u64,
+    }
+
+    impl Gossip {
+        fn new(ttl: u64) -> Self {
+            Self {
+                id: 0,
+                ttl,
+                digest: 0,
+                rounds_done: 0,
+            }
+        }
+    }
+
+    impl NodeAlgorithm for Gossip {
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&mut self, ctx: &NodeContext) {
+            self.id = ctx.node as u64;
+        }
+
+        fn send(&mut self, ctx: &NodeContext) -> Outbox<u64> {
+            Outbox::Broadcast(self.id + ctx.round)
+        }
+
+        fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, u64>) {
+            for (p, m) in inbox.iter() {
+                self.digest = self
+                    .digest
+                    .wrapping_mul(31)
+                    .wrapping_add(*m)
+                    .wrapping_add(p as u64);
+            }
+            self.rounds_done += 1;
+        }
+
+        fn is_halted(&self) -> bool {
+            self.rounds_done >= self.ttl
+        }
+
+        fn output(&self) -> u64 {
+            self.digest
+        }
+    }
+
+    fn ring(n: usize) -> Topology {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(n, &edges).unwrap()
+    }
+
+    fn mk(n: usize) -> Vec<Gossip> {
+        (0..n).map(|v| Gossip::new(1 + (v as u64 % 5))).collect()
+    }
+
+    fn assert_logically_equal(a: &RunOutcome<u64>, b: &RunOutcome<u64>, what: &str) {
+        assert_eq!(a.outputs, b.outputs, "{what}: outputs");
+        assert_eq!(a.metrics.rounds, b.metrics.rounds, "{what}: rounds");
+        assert_eq!(a.metrics.messages, b.metrics.messages, "{what}: messages");
+        assert_eq!(a.metrics.total_bits, b.metrics.total_bits, "{what}: bits");
+        assert_eq!(
+            a.metrics.max_message_bits, b.metrics.max_message_bits,
+            "{what}: max bits"
+        );
+        assert_eq!(
+            a.metrics.active_per_round, b.metrics.active_per_round,
+            "{what}: active"
+        );
+        assert_eq!(
+            a.metrics.hit_round_cap, b.metrics.hit_round_cap,
+            "{what}: cap"
+        );
+    }
+
+    #[test]
+    fn socket_loopback_matches_sequential_unix_and_tcp() {
+        let n = 23;
+        let dense = ring(n);
+        let seq = Simulator::new(&dense).run(mk(n));
+        for shards in [2, 3] {
+            let g = ShardedTopology::from_topology(&dense, shards).unwrap();
+            #[cfg(unix)]
+            {
+                let out = Simulator::new(&g).run_with_executor(
+                    mk(n),
+                    &ShardedExecutor::with_transport(SocketLoopback::unix()),
+                );
+                assert_logically_equal(&seq, &out, "unix loopback");
+                assert!(
+                    out.metrics.wire_bytes_sent > 0,
+                    "frames must cross the wire"
+                );
+                assert_eq!(
+                    out.metrics.intra_shard_messages + out.metrics.cross_shard_messages,
+                    out.metrics.messages
+                );
+            }
+            let out = Simulator::new(&g).run_with_executor(
+                mk(n),
+                &ShardedExecutor::with_transport(SocketLoopback::tcp()),
+            );
+            assert_logically_equal(&seq, &out, "tcp loopback");
+            assert!(out.metrics.wire_bytes_sent > 0);
+        }
+    }
+
+    #[test]
+    fn socket_loopback_wire_bytes_are_deterministic() {
+        let n = 17;
+        let dense = ring(n);
+        let g = ShardedTopology::from_topology(&dense, 3).unwrap();
+        let run = || {
+            Simulator::new(&g)
+                .run_with_executor(
+                    mk(n),
+                    &ShardedExecutor::with_transport(SocketLoopback::tcp()),
+                )
+                .metrics
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.wire_bytes_sent, b.wire_bytes_sent);
+        assert_eq!(a.cross_shard_messages, b.cross_shard_messages);
+    }
+
+    #[test]
+    fn in_process_transport_reports_zero_wire_bytes() {
+        let n = 12;
+        let dense = ring(n);
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        let out = Simulator::new(&g).run_with_executor(mk(n), &ShardedExecutor::new());
+        assert_eq!(out.metrics.wire_bytes_sent, 0);
+        assert!(out.metrics.cross_shard_messages > 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn remote_protocol_matches_sequential_over_in_process_links() {
+        // The full multi-process protocol — coordinator relay, halting
+        // votes, output frames — exercised over socketpairs with worker
+        // threads standing in for worker processes.
+        let n = 19;
+        let dense = ring(n);
+        let seq = Simulator::new(&dense).run(mk(n));
+        for shards in [1, 2, 3] {
+            let g = ShardedTopology::from_topology(&dense, shards).unwrap();
+            let mut coordinator_links = Vec::new();
+            let mut worker_ends = Vec::new();
+            for _ in 0..shards {
+                let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+                coordinator_links.push(c);
+                worker_ends.push(w);
+            }
+            let out = std::thread::scope(|scope| {
+                for (shard, mut link) in worker_ends.drain(..).enumerate() {
+                    let g = &g;
+                    scope.spawn(move || {
+                        let range = g.shard_nodes(shard);
+                        let nodes: Vec<Gossip> =
+                            range.map(|v| Gossip::new(1 + (v as u64 % 5))).collect();
+                        serve_shard(&mut link, g, shard, nodes).expect("worker");
+                    });
+                }
+                coordinate::<u64, _>(coordinator_links, &g, 1_000_000).expect("coordinator")
+            });
+            assert_logically_equal(&seq, &out, "remote");
+            assert_eq!(
+                out.metrics.intra_shard_messages + out.metrics.cross_shard_messages,
+                out.metrics.messages
+            );
+            assert_eq!(out.metrics.shard_phase_nanos.len(), shards);
+            if shards > 1 {
+                assert!(out.metrics.wire_bytes_sent > 0);
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn remote_protocol_respects_the_round_cap() {
+        let n = 9;
+        let dense = ring(n);
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        let mut coordinator_links = Vec::new();
+        let mut worker_ends = Vec::new();
+        for _ in 0..2 {
+            let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+            coordinator_links.push(c);
+            worker_ends.push(w);
+        }
+        let out = std::thread::scope(|scope| {
+            for (shard, mut link) in worker_ends.drain(..).enumerate() {
+                let g = &g;
+                scope.spawn(move || {
+                    let range = g.shard_nodes(shard);
+                    let nodes: Vec<Gossip> = range.map(|_| Gossip::new(u64::MAX)).collect();
+                    serve_shard(&mut link, g, shard, nodes).expect("worker");
+                });
+            }
+            coordinate::<u64, _>(coordinator_links, &g, 4).expect("coordinator")
+        });
+        assert_eq!(out.metrics.rounds, 4);
+        assert!(out.metrics.hit_round_cap);
+        assert_eq!(out.metrics.active_per_round, vec![n; 4]);
+    }
+}

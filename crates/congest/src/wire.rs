@@ -1,0 +1,900 @@
+//! The binary wire codec: bit-exact message payloads in length-prefixed,
+//! round-sequenced frames.
+//!
+//! The CONGEST model bounds every message at `O(log n)` **bits**, and the
+//! simulator's accounting ([`MessageSize::bit_size`]) records exactly that
+//! quantity.  This module makes the accounting *honest*: every message type
+//! defines a [`WireMessage`] encoding whose payload occupies **exactly**
+//! `bit_size()` bits on the wire, so a run over a socket transport transmits
+//! what the metrics claim — a codec that silently fattened messages past the
+//! CONGEST bound would fail the bandwidth cross-check tests.
+//!
+//! # Payloads
+//!
+//! Payloads are written MSB-first through a [`BitWriter`] and read back
+//! through a [`BitReader`].  Variable-width fields use the same width rule as
+//! the `bit_size` accounting (`bits_for(value + 1)` for color-like fields,
+//! the plain bit length for raw `u64`s), and decoders *validate
+//! canonicality*: a payload whose claimed width does not match the decoded
+//! value's own width is rejected with [`WireError::NonCanonical`] instead of
+//! being silently accepted.
+//!
+//! Because a payload's width is derived from its value, the width travels
+//! out-of-band in the frame entry header (`bits`), together with one
+//! type-specific `aux` byte for messages with more than one variable-width
+//! field (e.g. the color/priority split of a list-coloring proposal).  Entry
+//! headers are *framing*, not message payload — exactly like the destination
+//! slot and sender id that accompany every routed message — so they are not
+//! charged against the CONGEST bound.
+//!
+//! # Frames
+//!
+//! A frame is the unit the transport moves per shard pair per round:
+//!
+//! ```text
+//! [body_len: u32 LE]                                 length prefix
+//! [kind: u8][round: u64 LE][from: u16 LE][to: u16 LE]   13-byte header
+//! <kind-specific payload>
+//! ```
+//!
+//! * `kind` — [`FrameKind`]: `Data` (a batch of routed messages),
+//!   `RoundStart` (coordinator → worker round decision / stop signal),
+//!   `Vote` (worker → coordinator halting vote: the shard's active count),
+//!   `Output` (worker → coordinator final outputs + counters).
+//! * `round` — every frame is stamped with the round it belongs to;
+//!   receivers reject out-of-sequence frames with
+//!   [`WireError::RoundMismatch`].
+//! * `from` / `to` — shard indices, validated on receipt.
+//!
+//! A `Data` payload is `[count: u32 LE]` followed by `count` entries:
+//!
+//! ```text
+//! [slot: u32 LE][sender: u32 LE][bits: u16 LE][aux: u8][payload: ⌈bits/8⌉ bytes]
+//! ```
+//!
+//! Decoders verify the length prefix, the entry count, exact payload
+//! consumption and zero padding bits; every malformed input is reported as a
+//! [`WireError`] — never a panic.
+
+use crate::algorithm::MessageSize;
+
+/// Upper bound on a frame body, as a cheap sanity check against corrupted
+/// length prefixes (a body this large would mean gigabytes of staged
+/// messages for one shard pair in one round).
+pub const MAX_FRAME_BODY: usize = 1 << 28;
+
+/// Size of the fixed frame header (`kind` + `round` + `from` + `to`).
+pub const FRAME_HEADER_BYTES: usize = 1 + 8 + 2 + 2;
+
+/// A decoding error of the wire codec.
+///
+/// Malformed frames and payloads are *reported*, never panicked on: a
+/// transport endpoint must survive a truncated or corrupted peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the decoder read everything it needed.
+    Truncated {
+        /// Bytes (frame layer) or bits (payload layer) required.
+        needed: usize,
+        /// Bytes/bits actually available.
+        got: usize,
+    },
+    /// A length field exceeds its hard bound or is inconsistent.
+    BadLength {
+        /// The offending length.
+        len: usize,
+        /// The largest acceptable value.
+        limit: usize,
+    },
+    /// An unknown [`FrameKind`] tag.
+    BadKind(u8),
+    /// An unknown message variant tag inside a payload.
+    BadTag(u64),
+    /// A frame was stamped with a different round than the receiver expects.
+    RoundMismatch {
+        /// The round the receiver is in.
+        expected: u64,
+        /// The round the frame claims.
+        got: u64,
+    },
+    /// A frame's `from`/`to` shard fields do not match the link it arrived
+    /// on.
+    ShardMismatch {
+        /// What the receiving endpoint expected.
+        expected: (u16, u16),
+        /// What the frame claims.
+        got: (u16, u16),
+    },
+    /// A payload decoded to a value whose canonical width differs from the
+    /// claimed width (or its padding bits were nonzero).
+    NonCanonical,
+    /// A payload or frame body had bytes left over after decoding.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated input: needed {needed}, got {got}")
+            }
+            WireError::BadLength { len, limit } => {
+                write!(f, "length {len} exceeds limit {limit}")
+            }
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::RoundMismatch { expected, got } => {
+                write!(f, "round mismatch: expected {expected}, frame says {got}")
+            }
+            WireError::ShardMismatch { expected, got } => write!(
+                f,
+                "shard mismatch: expected {}->{}, frame says {}->{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            WireError::NonCanonical => write!(f, "non-canonical payload encoding"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// MSB-first bit sink for message payloads.
+///
+/// Reusable: [`BitWriter::clear`] resets it without freeing the buffer, so
+/// the per-message encode on the transport hot path does not allocate.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits —
+    /// both are encoder bugs, not input errors.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "bit width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        // Byte-at-a-time (this is the per-message transport hot path): per
+        // iteration, pack as many of the remaining bits as the current
+        // partial byte has room for.
+        let mut rem = width;
+        while rem > 0 {
+            let bit_off = (self.bit_len % 8) as u32;
+            if bit_off == 0 {
+                self.bytes.push(0);
+            }
+            let space = 8 - bit_off;
+            let take = rem.min(space);
+            let chunk = ((value >> (rem - take)) & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("pushed above") |= chunk << (space - take);
+            self.bit_len += take as usize;
+            rem -= take;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bits_written(&self) -> usize {
+        self.bit_len
+    }
+
+    /// The written bytes (the final partial byte is zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Resets the writer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bit_len = 0;
+    }
+}
+
+/// MSB-first bit source over a byte slice, bounded to a bit limit.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    limit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads up to `bit_limit` bits from `bytes`.
+    ///
+    /// Returns [`WireError::Truncated`] if `bytes` holds fewer than
+    /// `bit_limit` bits.
+    pub fn new(bytes: &'a [u8], bit_limit: usize) -> Result<Self, WireError> {
+        if bytes.len() * 8 < bit_limit {
+            return Err(WireError::Truncated {
+                needed: bit_limit,
+                got: bytes.len() * 8,
+            });
+        }
+        Ok(Self {
+            bytes,
+            pos: 0,
+            limit: bit_limit,
+        })
+    }
+
+    /// Reads `width` bits, most significant first.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, WireError> {
+        if width > 64 {
+            return Err(WireError::BadLength {
+                len: width as usize,
+                limit: 64,
+            });
+        }
+        if self.pos + width as usize > self.limit {
+            return Err(WireError::Truncated {
+                needed: width as usize,
+                got: self.limit - self.pos,
+            });
+        }
+        // Byte-at-a-time mirror of `BitWriter::write_bits`.
+        let mut v = 0u64;
+        let mut rem = width;
+        while rem > 0 {
+            let bit_off = (self.pos % 8) as u32;
+            let space = 8 - bit_off;
+            let take = rem.min(space);
+            let byte = self.bytes[self.pos / 8];
+            let chunk = (byte >> (space - take)) & (((1u16 << take) - 1) as u8);
+            v = (v << take) | chunk as u64;
+            self.pos += take as usize;
+            rem -= take;
+        }
+        Ok(v)
+    }
+
+    /// Bits left before the limit.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.pos
+    }
+}
+
+/// A message that can cross a process boundary.
+///
+/// The contract every implementation must (and the codec tests do) uphold:
+///
+/// * [`WireMessage::encode`] writes **exactly** `self.bit_size()` bits —
+///   the payload on the wire is the payload the CONGEST accounting charges;
+/// * `decode(encode(m)) == m` for every value (round-trip identity);
+/// * `decode` rejects malformed input with a [`WireError`], never a panic,
+///   and rejects non-canonical encodings (claimed widths that do not match
+///   the decoded values).
+///
+/// The `aux` byte returned by `encode` and handed back to `decode` is
+/// out-of-band framing for messages with more than one variable-width field
+/// (it typically carries the width of the first field, so the decoder can
+/// split the payload); single-field messages return 0 and ignore it.
+pub trait WireMessage: Sized {
+    /// Encodes the payload into `w`; returns the `aux` framing byte.
+    fn encode(&self, w: &mut BitWriter) -> u8;
+
+    /// Decodes a payload of exactly `bits` bits with framing byte `aux`.
+    fn decode(r: &mut BitReader<'_>, bits: u16, aux: u8) -> Result<Self, WireError>;
+}
+
+impl WireMessage for u64 {
+    fn encode(&self, w: &mut BitWriter) -> u8 {
+        w.write_bits(*self, self.bit_size() as u32);
+        0
+    }
+
+    fn decode(r: &mut BitReader<'_>, bits: u16, _aux: u8) -> Result<Self, WireError> {
+        if bits > 64 {
+            return Err(WireError::BadLength {
+                len: bits as usize,
+                limit: 64,
+            });
+        }
+        let v = r.read_bits(bits as u32)?;
+        if v.bit_size() != bits as u64 {
+            return Err(WireError::NonCanonical);
+        }
+        Ok(v)
+    }
+}
+
+impl WireMessage for () {
+    fn encode(&self, w: &mut BitWriter) -> u8 {
+        w.write_bits(0, 1);
+        0
+    }
+
+    fn decode(r: &mut BitReader<'_>, bits: u16, _aux: u8) -> Result<Self, WireError> {
+        if bits != 1 {
+            return Err(WireError::BadLength {
+                len: bits as usize,
+                limit: 1,
+            });
+        }
+        if r.read_bits(1)? != 0 {
+            return Err(WireError::NonCanonical);
+        }
+        Ok(())
+    }
+}
+
+/// The wire width of a color-like value: `bits_for(value + 1)` in the
+/// accounting the coloring messages use (at least one bit, so a value is
+/// distinguishable from silence).  This mirrors `dcme_algebra`'s `bits_for`
+/// — restated here because the simulator crate is a dependency leaf.
+pub fn color_width(value: u64) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        64 - value.leading_zeros()
+    }
+}
+
+/// Writes a color-like value in its [`color_width`] bits.
+pub fn write_color(w: &mut BitWriter, value: u64) {
+    w.write_bits(value, color_width(value));
+}
+
+/// Reads a color-like value of the given width, rejecting non-canonical
+/// encodings (a value whose own [`color_width`] differs from `width`).
+pub fn read_color(r: &mut BitReader<'_>, width: u32) -> Result<u64, WireError> {
+    if width == 0 || width > 64 {
+        return Err(WireError::BadLength {
+            len: width as usize,
+            limit: 64,
+        });
+    }
+    let v = r.read_bits(width)?;
+    if color_width(v) != width {
+        return Err(WireError::NonCanonical);
+    }
+    Ok(v)
+}
+
+/// Encodes `msg` into a standalone `(bits, aux, bytes)` payload triple —
+/// the form the frame entries carry.  Mostly useful to tests and to
+/// one-shot encoders; batch encoding goes through [`DataFrameBuilder`].
+pub fn encode_payload<M: WireMessage>(msg: &M) -> (u16, u8, Vec<u8>) {
+    let mut w = BitWriter::new();
+    let aux = msg.encode(&mut w);
+    let bits = u16::try_from(w.bits_written()).expect("payload exceeds u16 bits");
+    (bits, aux, w.as_bytes().to_vec())
+}
+
+/// Decodes a standalone payload produced by [`encode_payload`], validating
+/// exact consumption and zero padding.
+pub fn decode_payload<M: WireMessage>(bits: u16, aux: u8, bytes: &[u8]) -> Result<M, WireError> {
+    let needed = (bits as usize).div_ceil(8);
+    if bytes.len() != needed {
+        return Err(WireError::BadLength {
+            len: bytes.len(),
+            limit: needed,
+        });
+    }
+    // Padding bits of the final partial byte must be zero.
+    if bits % 8 != 0 {
+        if let Some(&last) = bytes.last() {
+            if last & ((1u8 << (8 - bits % 8)) - 1) != 0 {
+                return Err(WireError::NonCanonical);
+            }
+        }
+    }
+    let mut r = BitReader::new(bytes, bits as usize)?;
+    let msg = M::decode(&mut r, bits, aux)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining().div_ceil(8)));
+    }
+    Ok(msg)
+}
+
+/// The frame kinds of the transport protocol (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A batch of routed cross-shard messages.
+    Data,
+    /// Coordinator → worker: the next round number, or the stop signal.
+    RoundStart,
+    /// Worker → coordinator: the shard's halting vote (active node count).
+    Vote,
+    /// Worker → coordinator: final outputs and per-shard counters.
+    Output,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::RoundStart => 1,
+            FrameKind::Vote => 2,
+            FrameKind::Output => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(FrameKind::Data),
+            1 => Ok(FrameKind::RoundStart),
+            2 => Ok(FrameKind::Vote),
+            3 => Ok(FrameKind::Output),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+/// The fixed per-frame header: kind, round stamp, and shard addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// The round this frame belongs to (sequencing check on receipt).
+    pub round: u64,
+    /// Sending shard.
+    pub from: u16,
+    /// Receiving shard (or the coordinator's pseudo-index).
+    pub to: u16,
+}
+
+impl FrameHeader {
+    /// Validates round and addressing against what the receiver expects.
+    pub fn expect(&self, round: u64, from: u16, to: u16) -> Result<(), WireError> {
+        if self.round != round {
+            return Err(WireError::RoundMismatch {
+                expected: round,
+                got: self.round,
+            });
+        }
+        if (self.from, self.to) != (from, to) {
+            return Err(WireError::ShardMismatch {
+                expected: (from, to),
+                got: (self.from, self.to),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fully received frame: header plus owned payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The decoded header.
+    pub header: FrameHeader,
+    /// The kind-specific payload.
+    pub payload: Vec<u8>,
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u16(bytes: &[u8], at: usize) -> Result<u16, WireError> {
+    bytes
+        .get(at..at + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or(WireError::Truncated {
+            needed: at + 2,
+            got: bytes.len(),
+        })
+}
+
+pub(crate) fn get_u32(bytes: &[u8], at: usize) -> Result<u32, WireError> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or(WireError::Truncated {
+            needed: at + 4,
+            got: bytes.len(),
+        })
+}
+
+pub(crate) fn get_u64(bytes: &[u8], at: usize) -> Result<u64, WireError> {
+    bytes
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .ok_or(WireError::Truncated {
+            needed: at + 8,
+            got: bytes.len(),
+        })
+}
+
+/// Appends one complete frame (`length prefix + header + payload`) to `out`;
+/// returns the number of bytes appended.
+pub fn frame_into(out: &mut Vec<u8>, header: FrameHeader, payload: &[u8]) -> usize {
+    let body_len = FRAME_HEADER_BYTES + payload.len();
+    assert!(
+        body_len <= MAX_FRAME_BODY,
+        "frame body exceeds MAX_FRAME_BODY"
+    );
+    put_u32(out, body_len as u32);
+    out.push(header.kind.to_u8());
+    put_u64(out, header.round);
+    put_u16(out, header.from);
+    put_u16(out, header.to);
+    out.extend_from_slice(payload);
+    4 + body_len
+}
+
+/// Parses a frame body (everything after the length prefix).
+pub fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
+    if body.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Truncated {
+            needed: FRAME_HEADER_BYTES,
+            got: body.len(),
+        });
+    }
+    let kind = FrameKind::from_u8(body[0])?;
+    let round = get_u64(body, 1)?;
+    let from = get_u16(body, 9)?;
+    let to = get_u16(body, 11)?;
+    Ok(Frame {
+        header: FrameHeader {
+            kind,
+            round,
+            from,
+            to,
+        },
+        payload: body[FRAME_HEADER_BYTES..].to_vec(),
+    })
+}
+
+/// Incremental frame reassembly over an untrusted byte stream.
+///
+/// Feed raw bytes as they arrive ([`FrameBuffer::feed`]) and pull complete
+/// frames ([`FrameBuffer::next_frame`]); partial frames stay buffered.  Used
+/// by the nonblocking socket-loopback transport; blocking links use
+/// [`read_frame`] instead.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer does not grow without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = get_u32(avail, 0)? as usize;
+        if body_len > MAX_FRAME_BODY {
+            return Err(WireError::BadLength {
+                len: body_len,
+                limit: MAX_FRAME_BODY,
+            });
+        }
+        if avail.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let frame = parse_body(&avail[4..4 + body_len])?;
+        self.start += 4 + body_len;
+        Ok(Some(frame))
+    }
+}
+
+/// Reads exactly one frame from a blocking stream.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Frame> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > MAX_FRAME_BODY {
+        return Err(WireError::BadLength {
+            len: body_len,
+            limit: MAX_FRAME_BODY,
+        }
+        .into());
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    parse_body(&body).map_err(Into::into)
+}
+
+/// Writes one complete frame to a blocking stream; returns bytes written.
+pub fn write_frame(
+    w: &mut impl std::io::Write,
+    header: FrameHeader,
+    payload: &[u8],
+) -> std::io::Result<u64> {
+    let mut out = Vec::with_capacity(4 + FRAME_HEADER_BYTES + payload.len());
+    let n = frame_into(&mut out, header, payload);
+    w.write_all(&out)?;
+    Ok(n as u64)
+}
+
+/// Accumulates routed messages into one `Data` frame body.
+///
+/// Reusable across rounds (`seal` resets it, keeping the allocations), so
+/// the transport hot path performs no per-message allocation.
+#[derive(Debug, Default)]
+pub struct DataFrameBuilder {
+    entries: Vec<u8>,
+    count: u32,
+    scratch: BitWriter,
+}
+
+impl DataFrameBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one routed message (`destination slot`, `sender`, payload).
+    pub fn push<M: WireMessage>(&mut self, slot: u32, sender: u32, msg: &M) {
+        self.scratch.clear();
+        let aux = msg.encode(&mut self.scratch);
+        let bits = u16::try_from(self.scratch.bits_written()).expect("payload exceeds u16 bits");
+        put_u32(&mut self.entries, slot);
+        put_u32(&mut self.entries, sender);
+        put_u16(&mut self.entries, bits);
+        self.entries.push(aux);
+        self.entries.extend_from_slice(self.scratch.as_bytes());
+        self.count += 1;
+    }
+
+    /// Number of staged messages.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether no message is staged.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends the finished frame (length prefix included) to `out` and
+    /// resets the builder; returns the bytes appended.
+    pub fn seal(&mut self, round: u64, from: u16, to: u16, out: &mut Vec<u8>) -> u64 {
+        let header = FrameHeader {
+            kind: FrameKind::Data,
+            round,
+            from,
+            to,
+        };
+        let body_len = FRAME_HEADER_BYTES + 4 + self.entries.len();
+        assert!(
+            body_len <= MAX_FRAME_BODY,
+            "data frame exceeds MAX_FRAME_BODY"
+        );
+        put_u32(out, body_len as u32);
+        out.push(header.kind.to_u8());
+        put_u64(out, header.round);
+        put_u16(out, header.from);
+        put_u16(out, header.to);
+        put_u32(out, self.count);
+        out.extend_from_slice(&self.entries);
+        self.entries.clear();
+        self.count = 0;
+        (4 + body_len) as u64
+    }
+}
+
+/// Decodes every entry of a `Data` frame payload, invoking
+/// `sink(slot, sender, message)` per entry.
+///
+/// Validates the entry count, per-entry lengths, zero padding and exact
+/// payload consumption; any malformation is a [`WireError`].
+pub fn for_each_data_entry<M: WireMessage>(
+    payload: &[u8],
+    mut sink: impl FnMut(u32, u32, M),
+) -> Result<(), WireError> {
+    let count = get_u32(payload, 0)?;
+    let mut at = 4usize;
+    for _ in 0..count {
+        let slot = get_u32(payload, at)?;
+        let sender = get_u32(payload, at + 4)?;
+        let bits = get_u16(payload, at + 8)?;
+        let aux = *payload.get(at + 10).ok_or(WireError::Truncated {
+            needed: at + 11,
+            got: payload.len(),
+        })?;
+        let nbytes = (bits as usize).div_ceil(8);
+        let body = payload
+            .get(at + 11..at + 11 + nbytes)
+            .ok_or(WireError::Truncated {
+                needed: at + 11 + nbytes,
+                got: payload.len(),
+            })?;
+        let msg = decode_payload::<M>(bits, aux, body)?;
+        sink(slot, sender, msg);
+        at += 11 + nbytes;
+    }
+    if at != payload.len() {
+        return Err(WireError::TrailingBytes(payload.len() - at));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0, 0);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(1, 1);
+        assert_eq!(w.bits_written(), 20);
+        let mut r = BitReader::new(w.as_bytes(), 20).unwrap();
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.read_bits(1), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn u64_payload_is_bit_exact_and_canonical() {
+        for v in [0u64, 1, 2, 255, 256, u64::MAX] {
+            let (bits, aux, bytes) = encode_payload(&v);
+            assert_eq!(bits as u64, v.bit_size(), "payload width must be bit_size");
+            let back: u64 = decode_payload(bits, aux, &bytes).unwrap();
+            assert_eq!(back, v);
+        }
+        // Claiming 3 bits for value 1 is non-canonical.
+        assert_eq!(
+            decode_payload::<u64>(3, 0, &[0b0010_0000]),
+            Err(WireError::NonCanonical)
+        );
+        // Nonzero padding bits are rejected.
+        assert_eq!(
+            decode_payload::<u64>(3, 0, &[0b1010_0001]),
+            Err(WireError::NonCanonical)
+        );
+    }
+
+    #[test]
+    fn unit_payload_round_trips() {
+        let (bits, aux, bytes) = encode_payload(&());
+        assert_eq!(bits, 1);
+        decode_payload::<()>(bits, aux, &bytes).unwrap();
+        assert!(decode_payload::<()>(2, 0, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn frame_round_trips_through_buffer() {
+        let header = FrameHeader {
+            kind: FrameKind::Vote,
+            round: 42,
+            from: 3,
+            to: 0,
+        };
+        let mut out = Vec::new();
+        frame_into(&mut out, header, &[9, 9, 9]);
+        let mut fb = FrameBuffer::new();
+        // Feed byte by byte: partial prefixes must return Ok(None).
+        for b in &out[..out.len() - 1] {
+            fb.feed(&[*b]);
+        }
+        assert_eq!(fb.next_frame().unwrap(), None);
+        fb.feed(&out[out.len() - 1..]);
+        let frame = fb.next_frame().unwrap().unwrap();
+        assert_eq!(frame.header, header);
+        assert_eq!(frame.payload, vec![9, 9, 9]);
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        // Unknown kind.
+        let mut body = vec![7u8];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(parse_body(&body), Err(WireError::BadKind(7)));
+        // Truncated header.
+        assert!(matches!(
+            parse_body(&[0u8; 5]),
+            Err(WireError::Truncated { .. })
+        ));
+        // Oversized length prefix.
+        let mut fb = FrameBuffer::new();
+        fb.feed(&(u32::MAX).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn data_frame_builder_round_trips_and_rejects_corruption() {
+        let mut b = DataFrameBuilder::new();
+        b.push(10, 1, &5u64);
+        b.push(11, 2, &0u64);
+        b.push(4_000_000_000, 3, &u64::MAX);
+        assert_eq!(b.len(), 3);
+        let mut out = Vec::new();
+        let n = b.seal(7, 1, 2, &mut out);
+        assert_eq!(n as usize, out.len());
+        assert!(b.is_empty());
+
+        let mut fb = FrameBuffer::new();
+        fb.feed(&out);
+        let frame = fb.next_frame().unwrap().unwrap();
+        frame.header.expect(7, 1, 2).unwrap();
+        assert_eq!(
+            frame.header.expect(8, 1, 2),
+            Err(WireError::RoundMismatch {
+                expected: 8,
+                got: 7
+            })
+        );
+        assert!(frame.header.expect(7, 2, 1).is_err());
+        let mut got = Vec::new();
+        for_each_data_entry::<u64>(&frame.payload, |slot, sender, msg| {
+            got.push((slot, sender, msg));
+        })
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![(10, 1, 5), (11, 2, 0), (4_000_000_000, 3, u64::MAX)]
+        );
+
+        // Truncating the payload anywhere must produce an error, not a panic.
+        for cut in 0..frame.payload.len() {
+            let res = for_each_data_entry::<u64>(&frame.payload[..cut], |_, _, _: u64| {});
+            assert!(res.is_err(), "cut at {cut} must error");
+        }
+        // An inflated count over the same bytes is a truncation error.
+        let mut inflated = frame.payload.clone();
+        inflated[0] = inflated[0].wrapping_add(1);
+        assert!(for_each_data_entry::<u64>(&inflated, |_, _, _: u64| {}).is_err());
+    }
+
+    #[test]
+    fn blocking_read_write_frame() {
+        let mut buf = Vec::new();
+        let header = FrameHeader {
+            kind: FrameKind::RoundStart,
+            round: 3,
+            from: 0,
+            to: 1,
+        };
+        let n = write_frame(&mut buf, header, &[1]).unwrap();
+        assert_eq!(n as usize, buf.len());
+        let frame = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(frame.header, header);
+        assert_eq!(frame.payload, vec![1]);
+        // Truncated stream -> io error.
+        assert!(read_frame(&mut &buf[..buf.len() - 1]).is_err());
+    }
+}

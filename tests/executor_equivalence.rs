@@ -1,18 +1,21 @@
 //! Property-based executor equivalence: on random topologies with random
-//! halting schedules, the sequential, pooled and sharded executors must
-//! produce identical outputs, round counts and message accounting.
+//! halting schedules, the sequential, pooled and sharded executors — the
+//! latter under **every transport backend** (in-process staging queues and
+//! the wire-codec'd socket loopback) — must produce identical outputs,
+//! round counts and message accounting.
 //!
 //! This is the engine contract stated in `dcme_congest::executor`: every
 //! `Executor` is bit-for-bit equivalent to `SequentialExecutor` (all metrics
-//! except wall-clock phase timings).  The unit tests pin it on hand-picked
-//! graphs; here it must survive arbitrary `GraphFamily` workloads, thread
-//! counts and shard counts.
+//! except wall-clock phase timings and the backend-describing transport
+//! counters `wire_bytes_sent` / `transport_flush_nanos`).  The unit tests
+//! pin it on hand-picked graphs; here it must survive arbitrary
+//! `GraphFamily` workloads, thread counts, shard counts and transports.
 
 use proptest::prelude::*;
 
 use dcme_congest::{
     ExecutionMode, Inbox, NodeAlgorithm, NodeContext, Outbox, RunOutcome, ShardedExecutor,
-    ShardedTopology, Simulator, SimulatorConfig, Topology,
+    ShardedTopology, Simulator, SimulatorConfig, SocketLoopback, Topology, TransportBuilder,
 };
 use dcme_graphs::generators;
 
@@ -87,10 +90,15 @@ fn run_with_mode(g: &Topology, ttls: &[u64], mode: ExecutionMode) -> RunOutcome<
     Simulator::with_config(g, config).run(nodes)
 }
 
-fn run_sharded(g: &Topology, ttls: &[u64], shards: usize) -> RunOutcome<u64> {
+fn run_sharded<B: TransportBuilder>(
+    g: &Topology,
+    ttls: &[u64],
+    shards: usize,
+    transport: B,
+) -> RunOutcome<u64> {
     let sharded = ShardedTopology::from_topology(g, shards).expect("shardable topology");
     let nodes: Vec<ScheduledGossip> = ttls.iter().map(|&t| ScheduledGossip::new(t)).collect();
-    Simulator::new(&sharded).run_with_executor(nodes, &ShardedExecutor::new())
+    Simulator::new(&sharded).run_with_executor(nodes, &ShardedExecutor::with_transport(transport))
 }
 
 /// The four graph families the equivalence guarantee is pinned on
@@ -126,9 +134,10 @@ proptest! {
 
         let seq = run_with_mode(&g, &ttls, ExecutionMode::Sequential);
         let par = run_with_mode(&g, &ttls, ExecutionMode::Parallel { threads });
-        let shd = run_sharded(&g, &ttls, shards);
+        let shd = run_sharded(&g, &ttls, shards, dcme_congest::InProcess);
+        let sock = run_sharded(&g, &ttls, shards, SocketLoopback::unix());
 
-        for (name, other) in [("pooled", &par), ("sharded", &shd)] {
+        for (name, other) in [("pooled", &par), ("sharded", &shd), ("socket", &sock)] {
             prop_assert_eq!(&seq.outputs, &other.outputs, "{} outputs diverged", name);
             prop_assert_eq!(seq.metrics.rounds, other.metrics.rounds, "{} rounds", name);
             prop_assert_eq!(seq.metrics.messages, other.metrics.messages, "{} messages", name);
@@ -153,14 +162,24 @@ proptest! {
         // Sharded attribution invariants: every message is attributed to
         // exactly one side of the shard boundary, and one shard ⇒ no
         // cross-shard traffic.
-        prop_assert_eq!(
-            shd.metrics.intra_shard_messages + shd.metrics.cross_shard_messages,
-            shd.metrics.messages
-        );
-        if shards == 1 {
-            prop_assert_eq!(shd.metrics.cross_shard_messages, 0);
+        for out in [&shd, &sock] {
+            prop_assert_eq!(
+                out.metrics.intra_shard_messages + out.metrics.cross_shard_messages,
+                out.metrics.messages
+            );
+            if shards == 1 {
+                prop_assert_eq!(out.metrics.cross_shard_messages, 0);
+            }
+            prop_assert_eq!(out.metrics.shard_phase_nanos.len(), shards);
         }
-        prop_assert_eq!(shd.metrics.shard_phase_nanos.len(), shards);
+        // Transport counters describe the backend: the in-memory queues
+        // move no wire bytes; the socket mesh seals one frame per shard
+        // pair per round, so any multi-shard round produces real bytes.
+        prop_assert_eq!(shd.metrics.wire_bytes_sent, 0);
+        prop_assert_eq!(
+            sock.metrics.wire_bytes_sent > 0,
+            shards > 1 && sock.metrics.rounds > 0
+        );
     }
 
     /// The round cap stops every executor at the same round with the cap

@@ -1,0 +1,166 @@
+//! Wire-codec properties across every algorithm message type, plus the
+//! CONGEST bandwidth cross-check.
+//!
+//! Three guarantees are pinned here:
+//!
+//! * **Round-trip identity** — random messages of every `NodeAlgorithm`
+//!   message type survive encode → decode unchanged, and their encoded
+//!   payload occupies **exactly** `MessageSize::bit_size()` bits, so the
+//!   wire carries precisely what the simulator's accounting charges.
+//! * **Malformed input safety** — truncated and corrupted frames come back
+//!   as `WireError`s, never panics.
+//! * **Bandwidth cross-check** — the paper algorithms' messages, pushed
+//!   through the codec, never encode wider than the `max_message_bits` the
+//!   simulator recorded for the run (and hence stay within the E12
+//!   `BandwidthReport` bound).  A codec that silently fattened messages
+//!   past the CONGEST bound fails here.
+
+use proptest::prelude::*;
+
+use dcme_baselines::locally_iterative::ColorMsg;
+use dcme_baselines::luby::LubyMessage;
+use dcme_coloring::list::{self, ListMessage};
+use dcme_coloring::reduction::InputColor;
+use dcme_coloring::trial::{self, TrialMessage};
+use dcme_coloring::TrialConfig;
+use dcme_congest::wire::{
+    decode_payload, encode_payload, for_each_data_entry, DataFrameBuilder, FrameBuffer,
+};
+use dcme_congest::{BandwidthReport, ExecutionMode, MessageSize, WireMessage};
+use dcme_graphs::coloring::Coloring;
+use dcme_graphs::generators;
+
+/// Encode → decode must be the identity, and the payload must be bit-exact.
+fn assert_round_trip<M: WireMessage + MessageSize + PartialEq + core::fmt::Debug>(msg: &M) {
+    let (bits, aux, bytes) = encode_payload(msg);
+    assert_eq!(
+        bits as u64,
+        msg.bit_size(),
+        "encoded payload width must equal the accounted bit_size for {msg:?}"
+    );
+    let back: M = decode_payload(bits, aux, &bytes)
+        .unwrap_or_else(|e| panic!("decode of freshly encoded {msg:?} failed: {e}"));
+    assert_eq!(&back, msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random messages of every algorithm message type round-trip.
+    #[test]
+    fn all_message_types_round_trip(a in 0u64..1_000_000, b in 0u64..1_000_000, raw in 0u64..u64::MAX) {
+        assert_round_trip(&raw);
+        assert_round_trip(&TrialMessage::Active { input_color: a });
+        assert_round_trip(&TrialMessage::Adopted { color: b });
+        assert_round_trip(&ListMessage::Propose { color: a, priority: b });
+        assert_round_trip(&ListMessage::Finalized { color: a });
+        assert_round_trip(&LubyMessage::Propose(a));
+        assert_round_trip(&LubyMessage::Final(b));
+        assert_round_trip(&ColorMsg(a));
+        assert_round_trip(&InputColor(b));
+        assert_round_trip(&dcme_coloring::elimination::CurrentColor(a));
+    }
+
+    /// Truncating or corrupting a sealed data frame yields errors, never
+    /// panics, at every cut point and byte position.
+    #[test]
+    fn truncated_and_corrupted_frames_are_errors(a in 0u64..100_000, b in 0u64..100_000) {
+        let mut builder = DataFrameBuilder::new();
+        builder.push(3, 0, &ListMessage::Propose { color: a, priority: b });
+        builder.push(9, 1, &ListMessage::Finalized { color: b });
+        let mut sealed = Vec::new();
+        builder.seal(5, 0, 1, &mut sealed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&sealed);
+        let frame = fb.next_frame().expect("well-formed").expect("complete");
+        // The intact frame decodes.
+        let mut n = 0;
+        for_each_data_entry::<ListMessage>(&frame.payload, |_, _, _| n += 1).expect("intact");
+        prop_assert_eq!(n, 2);
+        // Every truncation is an error, not a panic.
+        for cut in 0..frame.payload.len() {
+            prop_assert!(
+                for_each_data_entry::<ListMessage>(&frame.payload[..cut], |_, _, _| {}).is_err(),
+                "truncation at {} must be an error", cut
+            );
+        }
+        // Every single-byte corruption is handled without panicking (it may
+        // decode to a different valid message, or error — never crash).
+        for i in 0..frame.payload.len() {
+            let mut corrupted = frame.payload.clone();
+            corrupted[i] ^= 0x55;
+            let _ = for_each_data_entry::<ListMessage>(&corrupted, |_, _, _| {});
+        }
+    }
+}
+
+/// Satellite check: the mother algorithm's messages, wire-encoded, stay
+/// within the `max_message_bits` the simulator recorded — and hence within
+/// the E12 CONGEST bound.
+#[test]
+fn trial_messages_encode_within_recorded_bandwidth() {
+    let n = 220;
+    let g = generators::random_regular(n, 8, 13);
+    let input = Coloring::from_ids(n);
+    let out = trial::run(&g, &input, TrialConfig::proper(1)).expect("trial run");
+    let report = BandwidthReport::check(n, &out.metrics, 4);
+    assert!(report.within_congest, "{report}");
+
+    // Every message the run actually transmitted: each node broadcasts
+    // `Active{input}` while uncolored (all do in round 0) and announces
+    // `Adopted{color}` exactly once.
+    let mut messages: Vec<TrialMessage> = (0..n as u64)
+        .map(|c| TrialMessage::Active { input_color: c })
+        .collect();
+    messages.extend(
+        out.coloring()
+            .colors()
+            .iter()
+            .map(|&color| TrialMessage::Adopted { color }),
+    );
+    for msg in &messages {
+        let (bits, _, _) = encode_payload(msg);
+        assert_eq!(bits as u64, msg.bit_size());
+        assert!(
+            bits as u64 <= out.metrics.max_message_bits,
+            "codec fattened {msg:?} to {bits} bits, past the recorded max of {}",
+            out.metrics.max_message_bits
+        );
+        assert!(bits as u64 <= report.allowed_bits);
+    }
+}
+
+/// The same cross-check for the list-coloring routine's messages.
+#[test]
+fn list_messages_encode_within_recorded_bandwidth() {
+    let n = 150;
+    let g = generators::random_regular(n, 6, 29);
+    let delta = 6u64;
+    let lists: Vec<Vec<u64>> = (0..n).map(|_| (0..=delta).collect()).collect();
+    let priorities: Vec<u64> = (0..n as u64).collect();
+    let out = list::list_coloring(&g, &lists, &priorities, ExecutionMode::Sequential)
+        .expect("list coloring");
+    let report = BandwidthReport::check(n, &out.metrics, 4);
+    assert!(report.within_congest, "{report}");
+
+    // Round 0 transmits `Propose{0, id}` from every node; every node later
+    // announces `Finalized{color}`.
+    let mut messages: Vec<ListMessage> = priorities
+        .iter()
+        .map(|&priority| ListMessage::Propose { color: 0, priority })
+        .collect();
+    messages.extend(
+        out.coloring
+            .colors()
+            .iter()
+            .map(|&color| ListMessage::Finalized { color }),
+    );
+    for msg in &messages {
+        let (bits, _, _) = encode_payload(msg);
+        assert_eq!(bits as u64, msg.bit_size());
+        assert!(
+            bits as u64 <= out.metrics.max_message_bits,
+            "codec fattened {msg:?} past the recorded max"
+        );
+    }
+}
