@@ -1,0 +1,323 @@
+//! The \[HKNT22\] *Near-Optimal Distributed Degree+1 Coloring*
+//! (arXiv:2112.00604) list-coloring baseline (D1LC).
+//!
+//! Every node's palette is its **own** `deg(v) + 1` colors `{0, …, deg(v)}`
+//! — strictly harder than `(Δ+1)`-coloring, because low-degree nodes get no
+//! help from the global maximum degree.  The invariant that makes the
+//! problem solvable is the same as in the paper: a node can lose at most
+//! `deg(v)` colors to finalised neighbours, so its list is never exhausted.
+//!
+//! The baseline runs the paper's core randomized step in every round: each
+//! uncolored node draws one **uniform** color from its remaining list (the
+//! stateless `(seed, node, round)` streams of
+//! [`crate::rand_primitives::round_rng`]) and keeps it unless a smaller-id
+//! neighbour proposed the same color or a neighbour just finalised it.  The
+//! unique-id tie-break is what replaces the paper's `O(log³ log n)`
+//! machinery (slack generation + almost-clique handling for the dense
+//! parts): it degrades gracefully — random lists rarely collide, so almost
+//! every node finalises in `O(1)` expected rounds, while the id order makes
+//! the id-minimum active node succeed *every* round, bounding the run
+//! unconditionally without any extra phases.
+//!
+//! The message shape (`Propose {color, priority}` / `Finalized {color}`)
+//! deliberately mirrors `dcme_coloring::list::ListMessage` — this is the
+//! randomized counterpart of that deterministic routine, with the proposal
+//! drawn uniformly instead of smallest-first and the priority fixed to the
+//! node id.
+
+use dcme_algebra::logstar::bits_for;
+use dcme_congest::{
+    ExecutionMode, Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox, RunMetrics, Simulator,
+    SimulatorConfig, Topology,
+};
+use dcme_graphs::coloring::Coloring;
+use dcme_graphs::verify;
+
+use crate::rand_primitives::{round_rng, uniform_free_color, TryColorCore};
+
+/// Messages of the degree+1 list coloring (the randomized mirror of
+/// `dcme_coloring::list::ListMessage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum D1Message {
+    /// "I propose `color`; my tie-break priority is `priority`."
+    Propose {
+        /// the proposed color
+        color: u64,
+        /// the sender's unique id (smaller wins)
+        priority: u64,
+    },
+    /// "I have finalised `color`."
+    Finalized {
+        /// the final color
+        color: u64,
+    },
+}
+
+impl MessageSize for D1Message {
+    fn bit_size(&self) -> u64 {
+        1 + match self {
+            D1Message::Propose { color, priority } => {
+                bits_for(color + 1) as u64 + bits_for(priority + 1) as u64
+            }
+            D1Message::Finalized { color } => bits_for(color + 1) as u64,
+        }
+    }
+}
+
+impl dcme_congest::WireMessage for D1Message {
+    fn encode(&self, w: &mut dcme_congest::BitWriter) -> u8 {
+        match self {
+            // Two variable-width fields: the color width travels in the aux
+            // framing byte so the decoder knows where to split the payload.
+            D1Message::Propose { color, priority } => {
+                w.write_bits(0, 1);
+                dcme_congest::wire::write_color(w, *color);
+                dcme_congest::wire::write_color(w, *priority);
+                dcme_congest::wire::color_width(*color) as u8
+            }
+            D1Message::Finalized { color } => {
+                w.write_bits(1, 1);
+                dcme_congest::wire::write_color(w, *color);
+                0
+            }
+        }
+    }
+
+    fn decode(
+        r: &mut dcme_congest::BitReader<'_>,
+        bits: u16,
+        aux: u8,
+    ) -> Result<Self, dcme_congest::WireError> {
+        let tag = r.read_bits(1)?;
+        let rest = bits as u32 - 1;
+        if tag == 1 {
+            let color = dcme_congest::wire::read_color(r, rest)?;
+            Ok(D1Message::Finalized { color })
+        } else {
+            let color_bits = aux as u32;
+            if color_bits == 0 || color_bits >= rest {
+                return Err(dcme_congest::WireError::BadLength {
+                    len: color_bits as usize,
+                    limit: rest.saturating_sub(1) as usize,
+                });
+            }
+            let color = dcme_congest::wire::read_color(r, color_bits)?;
+            let priority = dcme_congest::wire::read_color(r, rest - color_bits)?;
+            Ok(D1Message::Propose { color, priority })
+        }
+    }
+}
+
+/// A generous unconditional round cap: the id tie-break finalises at least
+/// one node per two rounds in the worst (chain) case.
+pub fn round_cap(n: usize) -> u64 {
+    2 * n as u64 + 16
+}
+
+/// The per-node state machine of the degree+1 list coloring.
+pub struct DegreePlusOneNode {
+    seed: u64,
+    id: u64,
+    /// `deg(v) + 1`: the size of this node's own color list `{0..=deg(v)}`.
+    list_len: u64,
+    core: TryColorCore,
+}
+
+impl DegreePlusOneNode {
+    /// Creates the state machine; id and list length are derived from the
+    /// [`NodeContext`] in `init`, so one constructor works on every executor
+    /// and in every worker process.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            id: 0,
+            list_len: 1,
+            core: TryColorCore::new(),
+        }
+    }
+}
+
+impl NodeAlgorithm for DegreePlusOneNode {
+    type Message = D1Message;
+    type Output = Option<u64>;
+
+    fn init(&mut self, ctx: &NodeContext) {
+        self.id = ctx.node as u64;
+        self.list_len = ctx.degree as u64 + 1;
+    }
+
+    fn send(&mut self, ctx: &NodeContext) -> Outbox<D1Message> {
+        if let Some(color) = self.core.take_announcement() {
+            return Outbox::Broadcast(D1Message::Finalized { color });
+        }
+        if self.core.finalized.is_some() {
+            // Unreachable: the node halts at the end of its announce round.
+            return Outbox::Silent;
+        }
+        let mut rng = round_rng(self.seed, self.id, ctx.round);
+        let color = uniform_free_color(&mut rng, self.list_len, &self.core.blocked)
+            .expect("a deg+1 list cannot be exhausted by at most deg finalised neighbours");
+        self.core.propose(color);
+        Outbox::Broadcast(D1Message::Propose {
+            color,
+            priority: self.id,
+        })
+    }
+
+    fn receive(&mut self, _ctx: &NodeContext, inbox: &Inbox<'_, D1Message>) {
+        if self.core.retire_after_announce() {
+            return;
+        }
+        let mut beaten = false;
+        for (_, msg) in inbox.iter() {
+            match msg {
+                D1Message::Finalized { color } => {
+                    if self.core.block(*color) {
+                        beaten = true;
+                    }
+                }
+                D1Message::Propose { color, priority } => {
+                    if self.core.proposal == Some(*color) && *priority < self.id {
+                        beaten = true;
+                    }
+                }
+            }
+        }
+        self.core.resolve(beaten);
+        self.core.clear_proposal();
+    }
+
+    fn is_halted(&self) -> bool {
+        self.core.halted()
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.core.finalized
+    }
+}
+
+/// Result of a degree+1 list-coloring run.
+#[derive(Debug, Clone)]
+pub struct DegreePlusOneOutcome {
+    /// The computed coloring; node `v`'s color is in `{0..=deg(v)}`.
+    pub coloring: Coloring,
+    /// Round/message accounting.
+    pub metrics: RunMetrics,
+}
+
+/// Runs the randomized degree+1 list coloring with the given seed.
+///
+/// The postcondition is checked with the same list verifier the
+/// deterministic `dcme_coloring::list` routine uses: the coloring is proper
+/// *and* every node's color is inside its own `deg(v)+1` list.
+///
+/// # Panics
+///
+/// Panics only if the unconditional [`round_cap`] is exceeded, which the id
+/// tie-break's guaranteed progress makes impossible short of an
+/// implementation bug.
+pub fn degree_plus_one_coloring(
+    topology: &Topology,
+    seed: u64,
+    mode: ExecutionMode,
+) -> DegreePlusOneOutcome {
+    let n = topology.num_nodes();
+    let nodes: Vec<DegreePlusOneNode> = (0..n).map(|_| DegreePlusOneNode::new(seed)).collect();
+    let sim = Simulator::with_config(
+        topology,
+        SimulatorConfig {
+            max_rounds: round_cap(n).max(32),
+            mode,
+        },
+    );
+    let outcome = sim.run(nodes);
+    let colors: Vec<u64> = outcome
+        .outputs
+        .iter()
+        .map(|c| c.expect("degree+1 coloring exceeded its unconditional round cap"))
+        .collect();
+    let coloring = Coloring::new(colors, u64::from(topology.max_degree()) + 1);
+    let lists: Vec<Vec<u64>> = (0..n)
+        .map(|v| (0..=topology.degree(v) as u64).collect())
+        .collect();
+    verify::check_list_coloring(topology, &coloring, &lists)
+        .expect("degree+1 coloring must be proper and within every node's list");
+    DegreePlusOneOutcome {
+        coloring,
+        metrics: outcome.metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcme_graphs::generators;
+
+    #[test]
+    fn colors_stay_within_each_nodes_own_degree_list() {
+        let g = generators::gnp(250, 0.03, 5);
+        let out = degree_plus_one_coloring(&g, 42, ExecutionMode::Sequential);
+        for v in 0..250 {
+            assert!(
+                out.coloring.color(v) <= g.degree(v) as u64,
+                "node {v} (deg {}) got color {}",
+                g.degree(v),
+                out.coloring.color(v)
+            );
+        }
+    }
+
+    #[test]
+    fn converges_fast_on_regular_graphs() {
+        let g = generators::random_regular(300, 10, 11);
+        let out = degree_plus_one_coloring(&g, 1, ExecutionMode::Sequential);
+        verify::check_proper(&g, &out.coloring).unwrap();
+        assert!(out.metrics.rounds <= 60, "rounds {}", out.metrics.rounds);
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_bit_identical() {
+        let g = generators::random_regular(200, 8, 23);
+        let a = degree_plus_one_coloring(&g, 9, ExecutionMode::Sequential);
+        let b = degree_plus_one_coloring(&g, 9, ExecutionMode::Sequential);
+        assert_eq!(a.coloring.colors(), b.coloring.colors());
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.metrics.total_bits, b.metrics.total_bits);
+    }
+
+    #[test]
+    fn survives_adversarial_small_graphs() {
+        // The complete graph is the degree+1 worst case (zero slack
+        // everywhere: every node's list is exactly the palette).
+        for g in [
+            generators::complete(12),
+            generators::star(20),
+            generators::path(40),
+            generators::empty(5),
+        ] {
+            let out = degree_plus_one_coloring(&g, 5, ExecutionMode::Sequential);
+            verify::check_proper(&g, &out.coloring).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential() {
+        let g = generators::random_regular(120, 6, 31);
+        let seq = degree_plus_one_coloring(&g, 3, ExecutionMode::Sequential);
+        let par = degree_plus_one_coloring(&g, 3, ExecutionMode::Parallel { threads: 4 });
+        assert_eq!(seq.coloring.colors(), par.coloring.colors());
+        assert_eq!(seq.metrics.rounds, par.metrics.rounds);
+        assert_eq!(seq.metrics.messages, par.metrics.messages);
+    }
+
+    #[test]
+    fn message_size_accounting() {
+        let m = D1Message::Propose {
+            color: 3,
+            priority: 7,
+        };
+        assert_eq!(m.bit_size(), 1 + 2 + 3);
+        assert_eq!(D1Message::Finalized { color: 0 }.bit_size(), 2);
+    }
+}

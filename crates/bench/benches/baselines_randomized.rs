@@ -1,0 +1,78 @@
+//! Randomized-baselines bench: the folklore Luby trials vs the HNT
+//! ultrafast structure vs the D1LC degree+1 list coloring, with the paper's
+//! `(Δ+1)` pipeline as the deterministic reference (`baselines_randomized`).
+//!
+//! All four run sequentially on the same random-regular graph, so the
+//! numbers compare *algorithms*, not executors (the EB experiment table and
+//! `tests/executor_equivalence.rs` cover the executor/transport axis).  Run
+//! the full configuration (`n = 20_000`, Δ = 16) with `cargo bench --bench
+//! baselines_randomized`; set `BASELINES_RANDOMIZED_SMOKE=1` (as CI does)
+//! for a seconds-sized run on `n = 400` that still executes both new
+//! baselines end to end.  Set `DCME_METRICS_JSONL=path.jsonl` to append one
+//! machine-readable [`RunMetrics`] row per randomized algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcme_baselines as baselines;
+use dcme_coloring::pipeline;
+use dcme_congest::{ExecutionMode, JsonLinesWriter, RunMetrics};
+use dcme_graphs::generators;
+
+fn append_metrics(rows: &[(String, RunMetrics)]) {
+    let Some(path) = std::env::var_os("DCME_METRICS_JSONL") else {
+        return;
+    };
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open DCME_METRICS_JSONL");
+    let mut writer = JsonLinesWriter::new(file);
+    for (label, metrics) in rows {
+        writer.append(label, metrics).expect("append metrics row");
+    }
+}
+
+fn bench_baselines_randomized(c: &mut Criterion) {
+    let smoke = std::env::var_os("BASELINES_RANDOMIZED_SMOKE").is_some();
+    let (n, delta, samples) = if smoke {
+        (400usize, 8usize, 2usize)
+    } else {
+        (20_000, 16, 10)
+    };
+    let g = generators::random_regular(n, delta, 71);
+    let seed = 1u64;
+
+    let mut group = c.benchmark_group(format!("baselines_randomized/n{n}/d{delta}"));
+    group.sample_size(samples);
+    group.bench_function("luby_trials", |b| {
+        b.iter(|| baselines::luby_coloring(&g, seed, ExecutionMode::Sequential));
+    });
+    group.bench_function("hnt_ultrafast", |b| {
+        b.iter(|| baselines::ultrafast_coloring(&g, seed, ExecutionMode::Sequential));
+    });
+    group.bench_function("d1lc_degree_plus_one", |b| {
+        b.iter(|| baselines::degree_plus_one_coloring(&g, seed, ExecutionMode::Sequential));
+    });
+    group.bench_function("paper_pipeline_reference", |b| {
+        b.iter(|| pipeline::delta_plus_one(&g).unwrap());
+    });
+    group.finish();
+
+    append_metrics(&[
+        (
+            format!("luby/n{n}/d{delta}"),
+            baselines::luby_coloring(&g, seed, ExecutionMode::Sequential).metrics,
+        ),
+        (
+            format!("ultrafast/n{n}/d{delta}"),
+            baselines::ultrafast_coloring(&g, seed, ExecutionMode::Sequential).metrics,
+        ),
+        (
+            format!("degree_plus_one/n{n}/d{delta}"),
+            baselines::degree_plus_one_coloring(&g, seed, ExecutionMode::Sequential).metrics,
+        ),
+    ]);
+}
+
+criterion_group!(benches, bench_baselines_randomized);
+criterion_main!(benches);

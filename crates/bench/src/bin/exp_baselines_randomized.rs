@@ -1,0 +1,12 @@
+//! Experiment binary: prints the EB table — the randomized baselines
+//! (HNT ultrafast, D1LC degree+1) run with a fixed seed on every executor
+//! and transport backend, with bit-exactness asserted before each row.
+//!
+//! Usage: `cargo run -p dcme_bench --release --bin exp_baselines_randomized
+//! [-- --full]`
+
+fn main() {
+    let scale = dcme_bench::experiments::scale_from_args();
+    let table = dcme_bench::experiments::eb_randomized_baselines(scale);
+    println!("{}", table.to_markdown());
+}

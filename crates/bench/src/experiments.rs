@@ -285,6 +285,26 @@ pub fn e6_delta_plus_one(scale: Scale) -> Table {
             verify::check_proper(g, &luby.coloring).is_ok().to_string(),
         ]);
 
+        let uf = baselines::ultrafast_coloring(g, 1, ExecutionMode::Sequential);
+        t.push_row(vec![
+            name.clone(),
+            delta.to_string(),
+            "baseline: HNT ultrafast (randomized)".into(),
+            uf.metrics.rounds.to_string(),
+            uf.coloring.distinct_colors().to_string(),
+            verify::check_proper(g, &uf.coloring).is_ok().to_string(),
+        ]);
+
+        let d1 = baselines::degree_plus_one_coloring(g, 1, ExecutionMode::Sequential);
+        t.push_row(vec![
+            name.clone(),
+            delta.to_string(),
+            "baseline: D1LC degree+1 lists (randomized)".into(),
+            d1.metrics.rounds.to_string(),
+            d1.coloring.distinct_colors().to_string(),
+            verify::check_proper(g, &d1.coloring).is_ok().to_string(),
+        ]);
+
         let greedy = baselines::greedy_coloring(g, None);
         t.push_row(vec![
             name,
@@ -668,6 +688,152 @@ pub fn transport_backends(scale: Scale) -> Table {
     t
 }
 
+/// EB — the randomized baselines across executors and transport backends:
+/// for a fixed seed, the HNT ultrafast structure and the D1LC degree+1 list
+/// coloring must produce identical colorings, round counts and message
+/// counters on the sequential, pooled and sharded executors, under both the
+/// in-process staging queues and the wire-codec'd socket loopback.  The
+/// runner *asserts* the bit-for-bit agreement before reporting each row, so
+/// a diverging backend fails the experiment instead of printing a lie.
+pub fn eb_randomized_baselines(scale: Scale) -> Table {
+    use dcme_baselines::degree_plus_one::DegreePlusOneNode;
+    use dcme_baselines::ultrafast::UltrafastNode;
+    use dcme_congest::{
+        NodeAlgorithm, PooledExecutor, RunOutcome, SequentialExecutor, ShardedExecutor,
+        ShardedTopology, Simulator, SimulatorConfig, SocketLoopback,
+    };
+
+    let mut t = Table::new(
+        "EB: randomized baselines — fixed-seed bit-exactness across executors and transports",
+        &[
+            "graph",
+            "algorithm",
+            "backend",
+            "rounds",
+            "messages",
+            "total bits",
+            "colors",
+            "matches seq",
+        ],
+    );
+
+    /// Runs `mk()` on every backend and asserts each run is bit-identical
+    /// to the sequential reference — the outputs (the coloring itself) and
+    /// every logical counter; returns the per-backend metrics.
+    fn backends<A, F>(
+        g: &Topology,
+        shards: usize,
+        cap: u64,
+        mk: F,
+    ) -> Vec<(&'static str, dcme_congest::RunMetrics)>
+    where
+        A: NodeAlgorithm<Output = Option<u64>>,
+        F: Fn() -> Vec<A>,
+    {
+        let config = SimulatorConfig {
+            max_rounds: cap,
+            mode: ExecutionMode::Sequential,
+        };
+        let sharded = ShardedTopology::from_topology(g, shards).expect("EB shardable");
+        let reference: RunOutcome<Option<u64>> =
+            Simulator::with_config(g, config).run_with_executor(mk(), &SequentialExecutor);
+        let mut runs = vec![
+            (
+                "pooled(4)",
+                Simulator::with_config(g, config).run_with_executor(mk(), &PooledExecutor::new(4)),
+            ),
+            (
+                "sharded+inproc",
+                Simulator::with_config(&sharded, config)
+                    .run_with_executor(mk(), &ShardedExecutor::new()),
+            ),
+            (
+                "sharded+socket(tcp)",
+                Simulator::with_config(&sharded, config).run_with_executor(
+                    mk(),
+                    &ShardedExecutor::with_transport(SocketLoopback::tcp()),
+                ),
+            ),
+        ];
+        #[cfg(unix)]
+        runs.push((
+            "sharded+socket(unix)",
+            Simulator::with_config(&sharded, config).run_with_executor(
+                mk(),
+                &ShardedExecutor::with_transport(SocketLoopback::unix()),
+            ),
+        ));
+        let mut rows = vec![("sequential", reference.metrics.clone())];
+        for (backend, run) in runs {
+            assert_eq!(run.outputs, reference.outputs, "{backend} outputs");
+            assert_eq!(run.metrics.rounds, reference.metrics.rounds, "{backend}");
+            assert_eq!(
+                run.metrics.messages, reference.metrics.messages,
+                "{backend}"
+            );
+            assert_eq!(
+                run.metrics.total_bits, reference.metrics.total_bits,
+                "{backend}"
+            );
+            assert_eq!(
+                run.metrics.max_message_bits, reference.metrics.max_message_bits,
+                "{backend}"
+            );
+            rows.push((backend, run.metrics));
+        }
+        rows
+    }
+
+    let n = scale.pick(220, 1200);
+    let seed = 7u64;
+    let shards = 3;
+    let workloads = vec![
+        ("regular(d=10)", generators::random_regular(n, 10, 47)),
+        ("gnp(λ=8)", generators::gnp(n, 8.0 / n as f64, 48)),
+    ];
+    for (gname, g) in &workloads {
+        let graph = format!("{gname} n={n}");
+        for alg in ["HNT ultrafast", "D1LC degree+1"] {
+            let (runs, colors) = if alg == "HNT ultrafast" {
+                let cap = dcme_baselines::ultrafast::round_cap(n);
+                let runs = backends(g, shards, cap, || {
+                    (0..n).map(|_| UltrafastNode::new(seed)).collect()
+                });
+                (
+                    runs,
+                    baselines::ultrafast_coloring(g, seed, ExecutionMode::Sequential)
+                        .coloring
+                        .distinct_colors(),
+                )
+            } else {
+                let cap = dcme_baselines::degree_plus_one::round_cap(n);
+                let runs = backends(g, shards, cap, || {
+                    (0..n).map(|_| DegreePlusOneNode::new(seed)).collect()
+                });
+                (
+                    runs,
+                    baselines::degree_plus_one_coloring(g, seed, ExecutionMode::Sequential)
+                        .coloring
+                        .distinct_colors(),
+                )
+            };
+            for (backend, metrics) in &runs {
+                t.push_row(vec![
+                    graph.clone(),
+                    alg.into(),
+                    backend.to_string(),
+                    metrics.rounds.to_string(),
+                    metrics.messages.to_string(),
+                    metrics.total_bits.to_string(),
+                    colors.to_string(),
+                    "true".into(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 /// Runs every experiment at the given scale and returns the tables in order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -684,6 +850,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e11_logstar(scale),
         e12_bandwidth(scale),
         transport_backends(scale),
+        eb_randomized_baselines(scale),
     ]
 }
 
@@ -749,6 +916,17 @@ mod tests {
         for row in et.rows.iter().filter(|r| r[1].contains("socket")) {
             assert_ne!(row[5], "0", "socket backend sent no wire bytes: {row:?}");
         }
+    }
+
+    #[test]
+    fn randomized_baselines_table_reports_every_backend() {
+        // The runner itself asserts the fixed-seed bit-exactness; here we
+        // additionally pin that every backend row made it into the table.
+        let eb = eb_randomized_baselines(Scale::Quick);
+        let backends = if cfg!(unix) { 5 } else { 4 };
+        // 2 graphs × 2 algorithms × backends.
+        assert_eq!(eb.rows.len(), 2 * 2 * backends);
+        assert!(eb.rows.iter().all(|r| r[7] == "true"));
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! what EXPERIMENTS.md records; the Criterion benches in `benches/` reuse the
 //! same runners on smaller instances to track wall-clock performance of the
 //! simulator + algorithms.  The transport backends get their own table
-//! ([`experiments::transport_backends`], `exp_transport`), and the
-//! multi-process socket backend its own binary (`exp_worker`, which both
-//! coordinates and serves — see its `--help`).
+//! ([`experiments::transport_backends`], `exp_transport`), the randomized
+//! baselines their fixed-seed cross-executor table
+//! ([`experiments::eb_randomized_baselines`], `exp_baselines_randomized`)
+//! and wall-clock bench (`baselines_randomized`,
+//! `BASELINES_RANDOMIZED_SMOKE=1` for CI), and the multi-process socket
+//! backend its own binary (`exp_worker`, which both coordinates and serves
+//! — see its `--help`).
 //!
 //! # The JSON-lines schema
 //!

@@ -1,7 +1,10 @@
 //! Local stub of the `rand` crate (see `crates/compat/README.md`).
 //!
 //! Implements exactly the surface the `dcme_*` crates use — seeding a
-//! [`rngs::StdRng`] from a `u64`, the [`RngExt`] sampling helpers and
+//! [`rngs::StdRng`] from a `u64`, deriving child generators from a parent
+//! stream ([`SeedableRng::from_rng`]), the [`RngExt`] sampling helpers
+//! (uniform ranges via Lemire's widening-multiply rejection, so there is no
+//! modulo bias), the [`distr::Bernoulli`] distribution and
 //! [`seq::SliceRandom::shuffle`] — on top of a small, well-studied generator
 //! (xoshiro256**, seeded via SplitMix64).  Everything is deterministic per
 //! seed, which is the property the experiments actually rely on; statistical
@@ -22,6 +25,16 @@ pub trait RngCore {
 pub trait SeedableRng: Sized {
     /// Builds a generator whose stream is a pure function of `seed`.
     fn seed_from_u64(seed: u64) -> Self;
+
+    /// Splits a child generator off a parent stream (stub of
+    /// `rand::SeedableRng::from_rng`): the child's stream is a pure function
+    /// of the parent's state, and repeated calls yield independent streams.
+    ///
+    /// This is how the baselines derive per-node / per-round generators from
+    /// one experiment seed without the streams overlapping.
+    fn from_rng<S: RngCore + ?Sized>(source: &mut S) -> Self {
+        Self::seed_from_u64(source.next_u64())
+    }
 }
 
 /// Ranges (and other argument types) accepted by [`RngExt::random_range`].
@@ -32,6 +45,24 @@ pub trait SampleRange {
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
 }
 
+/// Draws a uniform value in `[0, span)` with Lemire's widening-multiply
+/// rejection method — exactly uniform (no modulo bias), with an expected
+/// `< 2` draws from `rng` for any `span`.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        // Reject the low leftovers of the last incomplete multiple of span.
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange for Range<$t> {
@@ -39,8 +70,7 @@ macro_rules! impl_sample_range {
             fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let span = (self.end - self.start) as u64;
-                // Modulo sampling: the bias is < span/2^64, irrelevant here.
-                self.start + (rng.next_u64() % span) as $t
+                self.start + sample_below(rng, span) as $t
             }
         }
     )*};
@@ -61,9 +91,85 @@ pub trait RngExt: RngCore {
         let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < p
     }
+
+    /// Draws one value from a distribution (stub of `rand::Rng::sample`).
+    fn sample<T, D: distr::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
 }
 
 impl<R: RngCore> RngExt for R {}
+
+pub mod distr {
+    //! Distributions (stub of `rand::distr`).
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T` (stub of
+    /// `rand::distr::Distribution`).
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error returned for probabilities outside `[0, 1]`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BernoulliError {
+        /// `p < 0`, `p > 1`, or `p` is NaN.
+        InvalidProbability,
+    }
+
+    impl core::fmt::Display for BernoulliError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "probability is outside [0, 1]")
+        }
+    }
+
+    impl std::error::Error for BernoulliError {}
+
+    /// The Bernoulli distribution: `true` with probability `p` (stub of
+    /// `rand::distr::Bernoulli`).
+    ///
+    /// One `next_u64` per sample, compared against the precomputed integer
+    /// threshold `⌊p · 2⁶⁴⌋`, so the probability is exact to within `2⁻⁶⁴`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Bernoulli {
+        threshold: u64,
+        always_true: bool,
+    }
+
+    impl Bernoulli {
+        /// Constructs the distribution; errors unless `0 ≤ p ≤ 1`.
+        pub fn new(p: f64) -> Result<Self, BernoulliError> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BernoulliError::InvalidProbability);
+            }
+            if p >= 1.0 {
+                return Ok(Self {
+                    threshold: 0,
+                    always_true: true,
+                });
+            }
+            Ok(Self {
+                // p < 1, so p · 2^64 < 2^64 and the cast cannot saturate.
+                threshold: (p * (u64::MAX as f64 + 1.0)) as u64,
+                always_true: false,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Always consume one draw so `p = 1` and `p < 1` advance the
+            // stream identically (deterministic replays stay aligned).
+            let v = rng.next_u64();
+            self.always_true || v < self.threshold
+        }
+    }
+}
 
 pub mod rngs {
     //! Concrete generators.
@@ -133,7 +239,7 @@ pub mod seq {
 mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
-    use super::{RngExt, SeedableRng};
+    use super::{RngCore, RngExt, SeedableRng};
 
     #[test]
     fn same_seed_same_stream() {
@@ -158,6 +264,76 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn range_sampling_is_unbiased_over_a_skewed_span() {
+        // A span that does not divide 2^64 (here 3) is exactly where modulo
+        // sampling is biased; the rejection sampler must stay near-uniform.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.random_range(0usize..3)] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((9_500..10_500).contains(&c), "value {v} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn full_width_spans_sample_without_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let _ = rng.random_range(0u64..u64::MAX);
+            let _ = rng.random_range(1u64..2); // singleton span
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_its_probability_and_rejects_bad_p() {
+        use super::distr::{Bernoulli, BernoulliError, Distribution};
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Bernoulli::new(0.25).unwrap();
+        let hits = (0..10_000).filter(|_| d.sample(&mut rng)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        let never = Bernoulli::new(0.0).unwrap();
+        assert!((0..1000).all(|_| !never.sample(&mut rng)));
+        let always = Bernoulli::new(1.0).unwrap();
+        assert!((0..1000).all(|_| always.sample(&mut rng)));
+        for bad in [-0.1, 1.1, f64::NAN] {
+            assert_eq!(
+                Bernoulli::new(bad).unwrap_err(),
+                BernoulliError::InvalidProbability
+            );
+        }
+    }
+
+    #[test]
+    fn sample_method_mirrors_distribution_sample() {
+        use super::distr::Bernoulli;
+        let d = Bernoulli::new(0.5).unwrap();
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..100 {
+            use super::distr::Distribution;
+            assert_eq!(a.sample(d), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn from_rng_splits_deterministic_independent_streams() {
+        let mut parent = StdRng::seed_from_u64(42);
+        let mut child_a = StdRng::from_rng(&mut parent);
+        let mut child_b = StdRng::from_rng(&mut parent);
+        // Children differ from each other and are reproducible from the
+        // same parent stream.
+        let a: Vec<u64> = (0..16).map(|_| child_a.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| child_b.next_u64()).collect();
+        assert_ne!(a, b);
+        let mut parent2 = StdRng::seed_from_u64(42);
+        let mut child_a2 = StdRng::from_rng(&mut parent2);
+        let a2: Vec<u64> = (0..16).map(|_| child_a2.next_u64()).collect();
+        assert_eq!(a, a2);
     }
 
     #[test]

@@ -189,6 +189,12 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Topology {
                 chosen.insert(t);
             }
         }
+        // Iterate in sorted order: HashSet order is randomized per process,
+        // and the order feeds back into `targets` (and hence into every
+        // later degree-proportional draw), which silently broke the
+        // seed-determinism contract every other generator upholds.
+        let mut chosen: Vec<NodeId> = chosen.into_iter().collect();
+        chosen.sort_unstable();
         for &t in &chosen {
             edges.push((t, v));
             targets.push(t);

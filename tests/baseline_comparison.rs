@@ -82,6 +82,56 @@ fn randomized_baseline_is_fast_but_not_deterministic() {
 }
 
 #[test]
+fn modern_randomized_baselines_are_proper_and_respect_their_palettes() {
+    let g = generators::random_regular(400, 12, 29);
+    let delta_plus_one = g.max_degree() as u64 + 1;
+
+    let uf = baselines::ultrafast_coloring(&g, 11, ExecutionMode::Sequential);
+    verify::check_proper(&g, &uf.coloring).unwrap();
+    assert!(uf.coloring.distinct_colors() as u64 <= delta_plus_one);
+
+    // D1LC is strictly harder: node v's color must come from its *own*
+    // deg(v)+1 list, not just the global [Δ+1] palette.
+    let d1 = baselines::degree_plus_one_coloring(&g, 11, ExecutionMode::Sequential);
+    verify::check_proper(&g, &d1.coloring).unwrap();
+    for v in 0..400 {
+        assert!(
+            d1.coloring.color(v) <= g.degree(v) as u64,
+            "node {v} (deg {}) colored outside its own list",
+            g.degree(v)
+        );
+    }
+
+    // Both are modern O(polyloglog) structures: on a log-sized graph they
+    // must not degenerate into their linear fallback regime.
+    assert!(uf.metrics.rounds <= 60, "ultrafast {}", uf.metrics.rounds);
+    assert!(d1.metrics.rounds <= 60, "degree+1 {}", d1.metrics.rounds);
+}
+
+#[test]
+fn modern_randomized_baselines_are_seed_reproducible() {
+    // The E6/EB comparison is only honest if a recorded row can be
+    // regenerated: the same seed must reproduce the identical run.
+    let g = generators::gnp(300, 0.04, 31);
+    let a = baselines::ultrafast_coloring(&g, 3, ExecutionMode::Sequential);
+    let b = baselines::ultrafast_coloring(&g, 3, ExecutionMode::Sequential);
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.metrics.rounds, b.metrics.rounds);
+    assert_eq!(a.metrics.messages, b.metrics.messages);
+    let c = baselines::ultrafast_coloring(&g, 4, ExecutionMode::Sequential);
+    verify::check_proper(&g, &c.coloring).unwrap();
+    assert_ne!(
+        a.coloring, c.coloring,
+        "different seeds should explore different colorings"
+    );
+
+    let a = baselines::degree_plus_one_coloring(&g, 3, ExecutionMode::Sequential);
+    let b = baselines::degree_plus_one_coloring(&g, 3, ExecutionMode::Sequential);
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.metrics.messages, b.metrics.messages);
+}
+
+#[test]
 fn greedy_color_count_is_the_reference_lower_envelope() {
     for seed in 0..3 {
         let g = generators::gnp(300, 0.05, seed);

@@ -13,6 +13,8 @@
 
 use proptest::prelude::*;
 
+use dcme_baselines::degree_plus_one::{self, DegreePlusOneNode};
+use dcme_baselines::ultrafast::{self, UltrafastNode};
 use dcme_congest::{
     ExecutionMode, Inbox, NodeAlgorithm, NodeContext, Outbox, RunOutcome, ShardedExecutor,
     ShardedTopology, Simulator, SimulatorConfig, SocketLoopback, Topology, TransportBuilder,
@@ -115,6 +117,73 @@ fn build_graph(family: usize, size: usize, seed: u64) -> Topology {
     }
 }
 
+/// Runs one seeded randomized baseline on every executor and transport
+/// backend and asserts the runs are bit-identical to the sequential
+/// reference — the engine contract applied to *randomized* algorithms,
+/// which holds because their randomness is drawn from stateless
+/// `(seed, node, round)` streams, never from execution history.
+fn assert_randomized_equivalence<A, F>(g: &Topology, shards: usize, threads: usize, cap: u64, mk: F)
+where
+    A: NodeAlgorithm<Output = Option<u64>>,
+    F: Fn() -> Vec<A>,
+{
+    let seq_config = SimulatorConfig {
+        max_rounds: cap,
+        mode: ExecutionMode::Sequential,
+    };
+    let sharded = ShardedTopology::from_topology(g, shards).expect("shardable topology");
+    let seq: RunOutcome<Option<u64>> = Simulator::with_config(g, seq_config).run(mk());
+    assert!(
+        seq.outputs.iter().all(Option::is_some),
+        "randomized baseline must finish within its unconditional cap"
+    );
+    let runs = [
+        (
+            "pooled",
+            Simulator::with_config(
+                g,
+                SimulatorConfig {
+                    max_rounds: cap,
+                    mode: ExecutionMode::Parallel { threads },
+                },
+            )
+            .run(mk()),
+        ),
+        (
+            "sharded+inproc",
+            Simulator::with_config(&sharded, seq_config)
+                .run_with_executor(mk(), &ShardedExecutor::new()),
+        ),
+        (
+            "sharded+socket",
+            Simulator::with_config(&sharded, seq_config).run_with_executor(
+                mk(),
+                &ShardedExecutor::with_transport(SocketLoopback::unix()),
+            ),
+        ),
+    ];
+    for (name, other) in &runs {
+        assert_eq!(&seq.outputs, &other.outputs, "{name} outputs diverged");
+        assert_eq!(seq.metrics.rounds, other.metrics.rounds, "{name} rounds");
+        assert_eq!(
+            seq.metrics.messages, other.metrics.messages,
+            "{name} messages"
+        );
+        assert_eq!(
+            seq.metrics.total_bits, other.metrics.total_bits,
+            "{name} bits"
+        );
+        assert_eq!(
+            seq.metrics.max_message_bits, other.metrics.max_message_bits,
+            "{name} max bits"
+        );
+        assert_eq!(
+            seq.metrics.active_per_round, other.metrics.active_per_round,
+            "{name} active sets"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -180,6 +249,29 @@ proptest! {
             sock.metrics.wire_bytes_sent > 0,
             shards > 1 && sock.metrics.rounds > 0
         );
+    }
+
+    /// Seeded randomized baselines (HNT ultrafast, D1LC degree+1): on random
+    /// topologies, fixed-seed runs are bit-for-bit identical across the
+    /// sequential, pooled and sharded executors and both transport backends
+    /// (the ISSUE 5 acceptance criterion, as a property).
+    #[test]
+    fn randomized_baselines_agree_across_executors_and_transports(
+        family in 0usize..4,
+        size in 8usize..48,
+        graph_seed in 0u64..200,
+        algo_seed in 0u64..1000,
+        threads in 1usize..4,
+        shards in 1usize..5,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let n = g.num_nodes();
+        assert_randomized_equivalence(&g, shards, threads, ultrafast::round_cap(n), || {
+            (0..n).map(|_| UltrafastNode::new(algo_seed)).collect::<Vec<_>>()
+        });
+        assert_randomized_equivalence(&g, shards, threads, degree_plus_one::round_cap(n), || {
+            (0..n).map(|_| DegreePlusOneNode::new(algo_seed)).collect::<Vec<_>>()
+        });
     }
 
     /// The round cap stops every executor at the same round with the cap

@@ -17,8 +17,10 @@
 
 use proptest::prelude::*;
 
+use dcme_baselines::degree_plus_one::{self, D1Message};
 use dcme_baselines::locally_iterative::ColorMsg;
 use dcme_baselines::luby::LubyMessage;
+use dcme_baselines::ultrafast::{self, UltrafastMessage};
 use dcme_coloring::list::{self, ListMessage};
 use dcme_coloring::reduction::InputColor;
 use dcme_coloring::trial::{self, TrialMessage};
@@ -59,6 +61,11 @@ proptest! {
         assert_round_trip(&ColorMsg(a));
         assert_round_trip(&InputColor(b));
         assert_round_trip(&dcme_coloring::elimination::CurrentColor(a));
+        assert_round_trip(&UltrafastMessage::Try { color: a });
+        assert_round_trip(&UltrafastMessage::Adopt { color: b });
+        assert_round_trip(&UltrafastMessage::Fallback { color: a, id: b });
+        assert_round_trip(&D1Message::Propose { color: a, priority: b });
+        assert_round_trip(&D1Message::Finalized { color: a });
     }
 
     /// Truncating or corrupting a sealed data frame yields errors, never
@@ -90,6 +97,53 @@ proptest! {
             let mut corrupted = frame.payload.clone();
             corrupted[i] ^= 0x55;
             let _ = for_each_data_entry::<ListMessage>(&corrupted, |_, _, _| {});
+        }
+    }
+
+    /// The randomized baselines' frames survive the same truncation /
+    /// corruption torture (their `Fallback` / `Propose` payloads carry two
+    /// variable-width fields split by the aux byte — the shape most easily
+    /// broken by framing bugs).
+    #[test]
+    fn randomized_baseline_frames_are_corruption_safe(a in 0u64..100_000, b in 0u64..100_000) {
+        let mut builder = DataFrameBuilder::new();
+        builder.push(1, 0, &UltrafastMessage::Try { color: a });
+        builder.push(2, 1, &UltrafastMessage::Fallback { color: a, id: b });
+        builder.push(3, 2, &UltrafastMessage::Adopt { color: b });
+        let mut sealed = Vec::new();
+        builder.seal(2, 1, 0, &mut sealed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&sealed);
+        let frame = fb.next_frame().expect("well-formed").expect("complete");
+        let mut n = 0;
+        for_each_data_entry::<UltrafastMessage>(&frame.payload, |_, _, _| n += 1).expect("intact");
+        prop_assert_eq!(n, 3);
+        for cut in 0..frame.payload.len() {
+            prop_assert!(
+                for_each_data_entry::<UltrafastMessage>(&frame.payload[..cut], |_, _, _| {})
+                    .is_err(),
+                "truncation at {} must be an error", cut
+            );
+        }
+        for i in 0..frame.payload.len() {
+            let mut corrupted = frame.payload.clone();
+            corrupted[i] ^= 0x55;
+            let _ = for_each_data_entry::<UltrafastMessage>(&corrupted, |_, _, _| {});
+        }
+
+        let mut builder = DataFrameBuilder::new();
+        builder.push(7, 0, &D1Message::Propose { color: a, priority: b });
+        builder.push(8, 1, &D1Message::Finalized { color: b });
+        let mut sealed = Vec::new();
+        builder.seal(3, 0, 1, &mut sealed);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&sealed);
+        let frame = fb.next_frame().expect("well-formed").expect("complete");
+        for cut in 0..frame.payload.len() {
+            prop_assert!(
+                for_each_data_entry::<D1Message>(&frame.payload[..cut], |_, _, _| {}).is_err(),
+                "truncation at {} must be an error", cut
+            );
         }
     }
 }
@@ -163,4 +217,79 @@ fn list_messages_encode_within_recorded_bandwidth() {
             "codec fattened {msg:?} past the recorded max"
         );
     }
+}
+
+/// The same cross-check for the randomized baselines: every encoded payload
+/// fits the declared `MessageSize`, messages known to have been transmitted
+/// stay within the recorded `max_message_bits`, the recorded maximum never
+/// exceeds the worst message the algorithm can legally emit, and the whole
+/// run respects the E12 CONGEST bound.
+#[test]
+fn randomized_baseline_messages_encode_within_recorded_bandwidth() {
+    use dcme_congest::wire::color_width;
+
+    let n = 200;
+    let g = generators::random_regular(n, 8, 37);
+    let delta = u64::from(g.max_degree());
+
+    let uf = dcme_baselines::ultrafast_coloring(&g, 5, ExecutionMode::Sequential);
+    let report = BandwidthReport::check(n, &uf.metrics, 4);
+    assert!(report.within_congest, "{report}");
+    // Every node announced `Adopt{final color}` — those messages were
+    // really transmitted, so they must fit the recorded maximum.
+    for &color in uf.coloring.colors() {
+        let msg = UltrafastMessage::Adopt { color };
+        let (bits, _, _) = encode_payload(&msg);
+        assert_eq!(bits as u64, msg.bit_size());
+        assert!(
+            bits as u64 <= uf.metrics.max_message_bits,
+            "codec fattened {msg:?} past the recorded max of {}",
+            uf.metrics.max_message_bits
+        );
+    }
+    // The recorded maximum is itself bounded by the widest legal message:
+    // a fallback proposal of the largest color by the largest id.
+    let worst = UltrafastMessage::Fallback {
+        color: delta,
+        id: n as u64 - 1,
+    };
+    assert!(uf.metrics.max_message_bits <= worst.bit_size());
+    assert_eq!(
+        worst.bit_size(),
+        2 + u64::from(color_width(delta)) + u64::from(color_width(n as u64 - 1))
+    );
+
+    let d1 = dcme_baselines::degree_plus_one_coloring(&g, 5, ExecutionMode::Sequential);
+    let report = BandwidthReport::check(n, &d1.metrics, 4);
+    assert!(report.within_congest, "{report}");
+    // Node `v` proposed its final color with priority `v` (the winning
+    // proposal) and announced it — both messages were really transmitted.
+    for (v, &color) in d1.coloring.colors().iter().enumerate() {
+        for msg in [
+            D1Message::Propose {
+                color,
+                priority: v as u64,
+            },
+            D1Message::Finalized { color },
+        ] {
+            let (bits, _, _) = encode_payload(&msg);
+            assert_eq!(bits as u64, msg.bit_size());
+            assert!(
+                bits as u64 <= d1.metrics.max_message_bits,
+                "codec fattened {msg:?} past the recorded max of {}",
+                d1.metrics.max_message_bits
+            );
+        }
+    }
+    let worst = D1Message::Propose {
+        color: delta,
+        priority: n as u64 - 1,
+    };
+    assert!(d1.metrics.max_message_bits <= worst.bit_size());
+
+    // Declared-vs-encoded equality also holds for the cap checks above via
+    // `ultrafast::round_cap` / `degree_plus_one::round_cap` runs; pin the
+    // caps as the unconditional bounds the drivers promise.
+    assert!(uf.metrics.rounds <= ultrafast::round_cap(n));
+    assert!(d1.metrics.rounds <= degree_plus_one::round_cap(n));
 }
