@@ -115,6 +115,7 @@ pub fn round_cap(n: usize) -> u64 {
 }
 
 /// The per-node state machine of the degree+1 list coloring.
+#[derive(Clone)]
 pub struct DegreePlusOneNode {
     seed: u64,
     id: u64,
@@ -192,6 +193,12 @@ impl NodeAlgorithm for DegreePlusOneNode {
     }
 
     fn output(&self) -> Option<u64> {
+        self.core.finalized
+    }
+}
+
+impl dcme_congest::mc::CheckableAlgorithm for DegreePlusOneNode {
+    fn committed_color(&self) -> Option<u64> {
         self.core.finalized
     }
 }

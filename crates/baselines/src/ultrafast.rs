@@ -168,6 +168,7 @@ pub fn round_cap(n: usize) -> u64 {
 }
 
 /// The per-node state machine of the ultrafast structure.
+#[derive(Clone)]
 pub struct UltrafastNode {
     seed: u64,
     id: u64,
@@ -308,6 +309,12 @@ impl NodeAlgorithm for UltrafastNode {
     }
 
     fn output(&self) -> Option<u64> {
+        self.core.finalized
+    }
+}
+
+impl dcme_congest::mc::CheckableAlgorithm for UltrafastNode {
+    fn committed_color(&self) -> Option<u64> {
         self.core.finalized
     }
 }

@@ -834,6 +834,176 @@ pub fn eb_randomized_baselines(scale: Scale) -> Table {
     t
 }
 
+/// EF — invariant survival under injected message faults: every algorithm
+/// (the paper pipeline, both randomized baselines, and the two model-checker
+/// fixtures) against every fault class, with the outcome classified as
+/// `holds` or `violated: …` and the run's fault counters alongside.  Every
+/// row's plan column is a replayable `FaultPlan` spec: feed it back through
+/// `exp_faults --replay` (or `FaultPlan::from_spec`) to reproduce the run
+/// bit for bit.
+pub fn ef_fault_injection(scale: Scale) -> Table {
+    use std::sync::Arc;
+
+    use dcme_algebra::sequence::{SequenceFamily, SequenceParams};
+    use dcme_baselines::degree_plus_one::{self, DegreePlusOneNode};
+    use dcme_baselines::ultrafast::{self, UltrafastNode};
+    use dcme_coloring::trial::TrialNode;
+    use dcme_congest::faults::{check_coloring, run_faulty, FaultPlan};
+    use dcme_congest::mc::fixtures::{GreedyRobust, GreedyUnprotected};
+    use dcme_congest::{InProcess, NodeAlgorithm, RunMetrics, ShardedTopology};
+    use dcme_graphs::coloring::Coloring;
+    use dcme_graphs::generators;
+
+    let mut t = Table::new(
+        "EF: fault injection — invariant survival by algorithm × fault class",
+        &[
+            "algorithm",
+            "faults",
+            "plan",
+            "verdict",
+            "rounds",
+            "dropped",
+            "duplicated",
+            "delayed",
+            "retransmitted",
+            "stale",
+        ],
+    );
+
+    /// One faulted run, classified: `Ok` row fields on invariant survival,
+    /// the violation rendered otherwise.
+    fn classify<A, F>(
+        g: &ShardedTopology,
+        mk: F,
+        plan: &FaultPlan,
+        cap: u64,
+        colors_of: impl Fn(&[A::Output]) -> Vec<Option<u64>>,
+    ) -> (String, RunMetrics)
+    where
+        A: NodeAlgorithm,
+        F: Fn() -> Vec<A>,
+    {
+        let run = run_faulty(g, mk(), plan, InProcess, cap);
+        let colors = colors_of(&run.outcome.outputs);
+        let verdict = match check_coloring(g, &colors, true) {
+            None => "holds".to_string(),
+            Some(v) => format!("violated: {v}"),
+        };
+        (verdict, run.outcome.metrics)
+    }
+
+    let seed = 2024;
+    let classes: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none(seed)),
+        ("drop", FaultPlan::none(seed).with_drop(150)),
+        (
+            "drop+retransmit",
+            FaultPlan::none(seed).with_drop(150).with_retransmission(),
+        ),
+        ("duplicate", FaultPlan::none(seed).with_duplication(150)),
+        ("delay", FaultPlan::none(seed).with_delay(150, 3)),
+        (
+            "partition+retransmit",
+            FaultPlan::none(seed)
+                .with_partition(0, 1, 1, 4)
+                .with_retransmission(),
+        ),
+    ];
+
+    let n = scale.pick(24, 96);
+    let g = generators::ring(n);
+    let sharded = ShardedTopology::from_topology(&g, 4).expect("EF graph");
+    // The greedy fixtures run one node per shard so the fault layer sees
+    // every edge of their smaller ring.
+    let fn_ = scale.pick(12, 16);
+    let fg = generators::ring(fn_);
+    let fsharded = ShardedTopology::from_topology(&fg, fn_).expect("EF fixture graph");
+
+    let input = Coloring::from_ids(n);
+    let params = SequenceParams::derive(g.max_degree(), input.palette(), 0, 1).expect("EF params");
+    let family = Arc::new(SequenceFamily::new(params));
+    let trial_cap = params.rounds + 10;
+
+    for (class, plan) in &classes {
+        let rows: Vec<(&str, String, RunMetrics)> = vec![
+            {
+                let fam = Arc::clone(&family);
+                let (v, m) = classify(
+                    &sharded,
+                    || {
+                        (0..n)
+                            .map(|v| TrialNode::new(Arc::clone(&fam), input.color(v)))
+                            .collect::<Vec<_>>()
+                    },
+                    plan,
+                    trial_cap,
+                    |outs| outs.iter().map(|o| o.color).collect(),
+                );
+                ("trial (paper)", v, m)
+            },
+            {
+                let (v, m) = classify(
+                    &sharded,
+                    || (0..n).map(|_| UltrafastNode::new(seed)).collect::<Vec<_>>(),
+                    plan,
+                    ultrafast::round_cap(n) + 8,
+                    |outs| outs.to_vec(),
+                );
+                ("ultrafast (HNT)", v, m)
+            },
+            {
+                let (v, m) = classify(
+                    &sharded,
+                    || {
+                        (0..n)
+                            .map(|_| DegreePlusOneNode::new(seed))
+                            .collect::<Vec<_>>()
+                    },
+                    plan,
+                    degree_plus_one::round_cap(n) + 8,
+                    |outs| outs.to_vec(),
+                );
+                ("degree+1 (D1LC)", v, m)
+            },
+            {
+                let (v, m) = classify(
+                    &fsharded,
+                    || vec![GreedyUnprotected::new(); fn_],
+                    plan,
+                    64,
+                    |outs| outs.to_vec(),
+                );
+                ("greedy-unprotected", v, m)
+            },
+            {
+                let (v, m) = classify(
+                    &fsharded,
+                    || vec![GreedyRobust::new(4); fn_],
+                    plan,
+                    64,
+                    |outs| outs.to_vec(),
+                );
+                ("greedy-robust", v, m)
+            },
+        ];
+        for (algo, verdict, m) in rows {
+            t.push_row(vec![
+                algo.to_string(),
+                class.to_string(),
+                plan.to_spec(),
+                verdict,
+                m.rounds.to_string(),
+                m.faults_dropped.to_string(),
+                m.faults_duplicated.to_string(),
+                m.faults_delayed.to_string(),
+                m.faults_retransmitted.to_string(),
+                m.stale_overwrites.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// Runs every experiment at the given scale and returns the tables in order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -851,6 +1021,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e12_bandwidth(scale),
         transport_backends(scale),
         eb_randomized_baselines(scale),
+        ef_fault_injection(scale),
     ]
 }
 
@@ -915,6 +1086,35 @@ mod tests {
         // Every socket row must have crossed real wire bytes.
         for row in et.rows.iter().filter(|r| r[1].contains("socket")) {
             assert_ne!(row[5], "0", "socket backend sent no wire bytes: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fault_injection_table_covers_the_matrix() {
+        let ef = ef_fault_injection(Scale::Quick);
+        // 6 fault classes × 5 algorithms.
+        assert_eq!(ef.rows.len(), 6 * 5);
+        // Fault-free rows and the true masking class (retransmission
+        // delivers drops in their own round) must hold their invariants,
+        // and the async-tolerant hardened fixture must hold everywhere.
+        // Partition windows defer traffic even with retransmission — that
+        // is reordering, which non-tolerant algorithms may legitimately
+        // fail under; those rows are reported, not asserted.
+        for row in &ef.rows {
+            if row[1] == "none" || row[1] == "drop+retransmit" || row[0] == "greedy-robust" {
+                assert_eq!(row[3], "holds", "row {row:?}");
+            }
+        }
+        // The unprotected fixture exists to be broken.
+        assert!(
+            ef.rows
+                .iter()
+                .any(|r| r[0] == "greedy-unprotected" && r[3].starts_with("violated")),
+            "the unprotected fixture must break under some fault class"
+        );
+        // Every row's plan column must round-trip through the spec parser.
+        for row in &ef.rows {
+            dcme_congest::FaultPlan::from_spec(&row[2]).expect("replayable plan spec");
         }
     }
 

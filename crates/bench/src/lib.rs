@@ -11,9 +11,12 @@
 //! baselines their fixed-seed cross-executor table
 //! ([`experiments::eb_randomized_baselines`], `exp_baselines_randomized`)
 //! and wall-clock bench (`baselines_randomized`,
-//! `BASELINES_RANDOMIZED_SMOKE=1` for CI), and the multi-process socket
-//! backend its own binary (`exp_worker`, which both coordinates and serves
-//! — see its `--help`).
+//! `BASELINES_RANDOMIZED_SMOKE=1` for CI), the fault-injection survival
+//! matrix its table and replay tool
+//! ([`experiments::ef_fault_injection`], `exp_faults`, `FAULTS_SMOKE=1`
+//! for CI, `--replay '<plan-spec>'` to reproduce a recorded run), and the
+//! multi-process socket backend its own binary (`exp_worker`, which both
+//! coordinates and serves — see its `--help`).
 //!
 //! # The JSON-lines schema
 //!
@@ -37,13 +40,18 @@
 //! {"label":"ring/n20000/sharded4","rounds":16,"messages":833568,"total_bits":12015224,
 //!  "max_message_bits":15,"hit_round_cap":false,"intra_shard_messages":833540,
 //!  "cross_shard_messages":28,"wire_bytes_sent":3584,"transport_flush_nanos":113917,
+//!  "faults_dropped":0,"faults_duplicated":0,"faults_delayed":0,
+//!  "faults_retransmitted":0,"stale_overwrites":0,
 //!  "active_per_round":[20000,…],"phase_nanos":{"send":…,"deliver":…,"receive":…},
 //!  "shard_phase_nanos":[{…},…]}
 //! ```
 //!
 //! Fields are only ever **added** (`wire_bytes_sent` and
-//! `transport_flush_nanos` arrived with the transport subsystem), so rows
-//! stay parseable across versions; consumers must ignore unknown keys.
+//! `transport_flush_nanos` arrived with the transport subsystem, the five
+//! `faults_*`/`stale_overwrites` counters with the fault-injection harness
+//! — see [`experiments::ef_fault_injection`] and the `exp_faults` binary),
+//! so rows stay parseable across versions; consumers must ignore unknown
+//! keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -150,7 +150,7 @@ impl dcme_congest::WireMessage for TrialMessage {
 }
 
 /// Per-node output of the algorithm.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrialNodeOutput {
     /// Encoded adopted color (`slot * q + value`), or `None` if the node did
     /// not finish (only possible if the round cap was hit).
@@ -162,6 +162,7 @@ pub struct TrialNodeOutput {
 }
 
 /// The per-node state machine implementing Algorithm 1.
+#[derive(Clone)]
 pub struct TrialNode {
     family: Arc<SequenceFamily>,
     input_color: u64,
@@ -329,6 +330,12 @@ impl NodeAlgorithm for TrialNode {
             },
             None => TrialNodeOutput::default(),
         }
+    }
+}
+
+impl dcme_congest::mc::CheckableAlgorithm for TrialNode {
+    fn committed_color(&self) -> Option<u64> {
+        self.adopted.map(|(trial, _)| trial.encode(self.q()))
     }
 }
 

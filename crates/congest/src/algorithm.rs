@@ -179,6 +179,24 @@ pub trait NodeAlgorithm: Send {
     /// The node's output.  Only meaningful once [`Self::is_halted`] is true,
     /// or when the simulator stops the run at its round cap.
     fn output(&self) -> Self::Output;
+
+    /// Whether this algorithm's invariants survive **stale or reordered**
+    /// message delivery — the async-round execution mode used by
+    /// fault-injected runs
+    /// ([`DeliveryMode::Async`](crate::executor::DeliveryMode)), where a
+    /// message may cross a round boundary and a port slot keeps the most
+    /// recently arrived message instead of panicking on a second write.
+    ///
+    /// The default is `false`: synchronous CONGEST algorithms are allowed to
+    /// assume every round-`r` message arrives at the round-`r` barrier, and
+    /// the fault harness uses this declaration to classify an invariant
+    /// violation as *expected under the declared model* rather than a bug.
+    /// Override to `true` only for algorithms that are explicitly
+    /// self-stabilizing against reordering (e.g. ones that re-announce
+    /// state every round and treat messages idempotently).
+    fn tolerates_async_delivery(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

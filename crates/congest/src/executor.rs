@@ -81,6 +81,12 @@
 //!    in-process backend the channels are `Mutex`-guarded queues,
 //!    uncontended by construction: `x → w` is written only by `x` in
 //!    phase 1 and read only by `w` in phase 2, with a barrier in between.
+//!    Under [`DeliveryMode::Strict`] (the default) a second write to a
+//!    slot is a CONGEST violation and panics; under
+//!    [`DeliveryMode::Async`] — used by fault-injected runs whose
+//!    transport may deliver stale, duplicated or delayed copies — the
+//!    slot keeps the **most recently drained** message and the overwrite
+//!    is counted in `RunMetrics::stale_overwrites`.
 //! 3. **Receive** (C → D): worker `w` hands its nodes their inbox views
 //!    (plain slices of its own slots), compacts its active list and
 //!    publishes the count; the coordinator sums counts and decides the
@@ -685,19 +691,58 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShardedExecutor<B: TransportBuilder = InProcess> {
     builder: B,
+    delivery: DeliveryMode,
+}
+
+/// How the sharded delivery phase treats a message arriving at an
+/// already-occupied inbox slot.
+///
+/// In the fault-free CONGEST model at most one message crosses an edge per
+/// round, so an occupied slot can only mean an algorithm bug —
+/// [`DeliveryMode::Strict`] therefore panics.  A fault-injecting transport
+/// (see [`crate::faults`]) deliberately breaks that assumption: it may
+/// deliver a stale copy carried across a round boundary *and* the fresh
+/// message of the current round over the same edge.  [`DeliveryMode::Async`]
+/// models an asynchronous link for exactly that case: the slot keeps the
+/// most recently drained message (transports drain stale copies before
+/// fresh ones, so "newest wins") and every overwrite is counted in
+/// [`RunMetrics::stale_overwrites`](crate::RunMetrics::stale_overwrites).
+/// Algorithms declare whether they tolerate this regime via
+/// [`NodeAlgorithm::tolerates_async_delivery`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Barrier-synchronous delivery: a second write to a slot panics
+    /// (the fault-free CONGEST contract).
+    #[default]
+    Strict,
+    /// Asynchronous delivery: a second write replaces the slot's message
+    /// and is counted as a stale overwrite.
+    Async,
 }
 
 impl ShardedExecutor<InProcess> {
     /// Creates the executor with the in-process (shared-memory) transport.
     pub fn new() -> Self {
-        Self { builder: InProcess }
+        Self {
+            builder: InProcess,
+            delivery: DeliveryMode::Strict,
+        }
     }
 }
 
 impl<B: TransportBuilder> ShardedExecutor<B> {
     /// Creates the executor over an explicit transport backend.
     pub fn with_transport(builder: B) -> Self {
-        Self { builder }
+        Self {
+            builder,
+            delivery: DeliveryMode::Strict,
+        }
+    }
+
+    /// Selects the delivery mode (strict by default); see [`DeliveryMode`].
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.delivery = delivery;
+        self
     }
 }
 
@@ -714,6 +759,7 @@ pub(crate) struct ShardReport {
     pub(crate) cross: u64,
     pub(crate) wire_bytes: u64,
     pub(crate) flush_nanos: u64,
+    pub(crate) stale_overwrites: u64,
     pub(crate) timings: PhaseTimings,
 }
 
@@ -778,6 +824,7 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
                 rest_ctxs = tail;
                 let (signal, sync, transport) = (&signal, &sync, &transport);
                 let (active_count, report) = (&active_counts[s], &reports[s]);
+                let delivery = self.delivery;
                 scope.spawn(move || {
                     sharded_worker_loop(
                         topology,
@@ -790,6 +837,7 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
                         signal,
                         sync,
                         transport,
+                        delivery,
                         active_count,
                         report,
                     );
@@ -807,6 +855,7 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
             metrics.cross_shard_messages += r.cross;
             metrics.wire_bytes_sent += r.wire_bytes;
             metrics.transport_flush_nanos += r.flush_nanos;
+            metrics.stale_overwrites += r.stale_overwrites;
             metrics.shard_phase_nanos.push(r.timings);
         }
         sync.rethrow();
@@ -893,6 +942,7 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
     signal: &RoundSignal,
     sync: &PhaseSync,
     transport: &X,
+    delivery: DeliveryMode,
     active_count: &AtomicUsize,
     report: &Mutex<ShardReport>,
 ) {
@@ -959,15 +1009,25 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
             // --- Drain the incoming cross-shard channels into own slots ------
             sync.guard(|| {
                 let t = Instant::now();
-                transport.drain(shard, round, &mut |slot, sender, msg| {
-                    fill_shard_slot(
-                        slots,
-                        slot as usize - slot_base,
-                        msg,
-                        sender as usize,
-                        &mut touched,
-                    );
-                });
+                transport
+                    .drain(shard, round, &mut |slot, sender, msg| {
+                        let li = slot as usize - slot_base;
+                        match delivery {
+                            DeliveryMode::Strict => {
+                                fill_shard_slot(slots, li, msg, sender as usize, &mut touched)
+                            }
+                            DeliveryMode::Async => {
+                                // Newest wins: transports drain stale copies
+                                // before the current round's messages.
+                                if slots[li].replace(msg).is_some() {
+                                    local.stale_overwrites += 1;
+                                } else {
+                                    touched.push(li);
+                                }
+                            }
+                        }
+                    })
+                    .unwrap_or_else(|e| panic!("cross-shard transport failed: {e}"));
                 local.timings.deliver += t.elapsed().as_nanos() as u64;
             });
             if !sync.sync() {

@@ -40,11 +40,21 @@
 //!   ([`transport::InProcess`]), a wire-encoded socket mesh
 //!   ([`transport::SocketLoopback`]), and the multi-process
 //!   coordinator/worker protocol ([`transport::coordinate`] /
-//!   [`transport::serve_shard`]).
+//!   [`transport::serve_shard`]),
+//! * [`faults`] — deterministic fault injection at the transport seam
+//!   ([`faults::FaultyTransport`]): seed-driven drop, duplication, delay
+//!   and partition windows with a replayable event log, plus the
+//!   async-delivery execution mode ([`executor::DeliveryMode`]) faulted
+//!   runs require,
+//! * [`mc`] — a bounded model checker that exhaustively explores message
+//!   fault placements on tiny instances and reports minimal counterexample
+//!   traces against the coloring invariants.
 //!
 //! The simulator is deterministic: given the same topology and the same
 //! (deterministic) node algorithms it always produces the same outputs,
-//! regardless of which executor is used.
+//! regardless of which executor is used.  Fault-injected runs stay
+//! deterministic: every fault decision is a pure function of the
+//! `(seed, fault-plan)` pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +62,8 @@
 pub mod algorithm;
 pub mod bandwidth;
 pub mod executor;
+pub mod faults;
+pub mod mc;
 pub mod metrics;
 pub mod sharded;
 pub mod simulator;
@@ -61,7 +73,13 @@ pub mod wire;
 
 pub use algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 pub use bandwidth::BandwidthReport;
-pub use executor::{Executor, PooledExecutor, RoundState, SequentialExecutor, ShardedExecutor};
+pub use executor::{
+    DeliveryMode, Executor, PooledExecutor, RoundState, SequentialExecutor, ShardedExecutor,
+};
+pub use faults::{
+    run_faulty, FaultEvent, FaultKind, FaultPlan, FaultyRun, FaultyTransport, InvariantViolation,
+};
+pub use mc::{CheckableAlgorithm, Counterexample, McConfig, McFault, McVerdict, Violation};
 pub use metrics::{JsonLinesWriter, PhaseTimings, RunMetrics};
 pub use sharded::ShardedTopology;
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};

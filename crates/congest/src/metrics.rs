@@ -84,6 +84,25 @@ pub struct RunMetrics {
     /// Cumulative wall-clock time the transport spent sealing and flushing
     /// frames at the send barrier, in nanoseconds (summed across shards).
     pub transport_flush_nanos: u64,
+    /// Cross-shard messages dropped by an injected fault (including
+    /// partition drops).  Zero unless the run used a
+    /// [`FaultyTransport`](crate::faults::FaultyTransport).
+    pub faults_dropped: u64,
+    /// Cross-shard messages duplicated by an injected fault (the extra,
+    /// stale copy crosses the next round boundary).
+    pub faults_duplicated: u64,
+    /// Cross-shard messages delayed across a round boundary by an injected
+    /// fault (including partition-deferred deliveries).
+    pub faults_delayed: u64,
+    /// Injected losses or delays masked by the retransmission layer: the
+    /// message was still delivered in its own round, as a reliable
+    /// transport's retries would before the round barrier closes.
+    pub faults_retransmitted: u64,
+    /// Inbox slots overwritten during async-round delivery
+    /// ([`DeliveryMode::Async`](crate::executor::DeliveryMode)): a stale or
+    /// duplicate message arrived on a port that already held this round's
+    /// message (newest-wins semantics).  Zero in strict lock-step runs.
+    pub stale_overwrites: u64,
 }
 
 impl RunMetrics {
@@ -109,6 +128,11 @@ impl RunMetrics {
         self.cross_shard_messages += other.cross_shard_messages;
         self.wire_bytes_sent += other.wire_bytes_sent;
         self.transport_flush_nanos += other.transport_flush_nanos;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_delayed += other.faults_delayed;
+        self.faults_retransmitted += other.faults_retransmitted;
+        self.stale_overwrites += other.stale_overwrites;
         if self.shard_phase_nanos.len() < other.shard_phase_nanos.len() {
             self.shard_phase_nanos
                 .resize(other.shard_phase_nanos.len(), PhaseTimings::default());
@@ -163,6 +187,17 @@ impl RunMetrics {
             ",\"transport_flush_nanos\":{}",
             self.transport_flush_nanos
         ));
+        out.push_str(&format!(",\"faults_dropped\":{}", self.faults_dropped));
+        out.push_str(&format!(
+            ",\"faults_duplicated\":{}",
+            self.faults_duplicated
+        ));
+        out.push_str(&format!(",\"faults_delayed\":{}", self.faults_delayed));
+        out.push_str(&format!(
+            ",\"faults_retransmitted\":{}",
+            self.faults_retransmitted
+        ));
+        out.push_str(&format!(",\"stale_overwrites\":{}", self.stale_overwrites));
         out.push_str(",\"active_per_round\":[");
         for (i, a) in self.active_per_round.iter().enumerate() {
             if i > 0 {
@@ -345,6 +380,11 @@ mod tests {
             }],
             wire_bytes_sent: 100 * scale,
             transport_flush_nanos: 200 * scale,
+            faults_dropped: 13 * scale,
+            faults_duplicated: 17 * scale,
+            faults_delayed: 19 * scale,
+            faults_retransmitted: 23 * scale,
+            stale_overwrites: 29 * scale,
         };
         let mut a = mk(1);
         a.merge(&mk(10));
@@ -367,6 +407,11 @@ mod tests {
             cross_shard_messages: 44,
             wire_bytes_sent: 1100,
             transport_flush_nanos: 2200,
+            faults_dropped: 143,
+            faults_duplicated: 187,
+            faults_delayed: 209,
+            faults_retransmitted: 253,
+            stale_overwrites: 319,
             // Maxed.
             max_message_bits: 200,
             // Summed per shard index.
@@ -405,6 +450,11 @@ mod tests {
         assert!(line.contains("\"cross_shard_messages\":0"));
         assert!(line.contains("\"wire_bytes_sent\":77"));
         assert!(line.contains("\"transport_flush_nanos\":88"));
+        assert!(line.contains("\"faults_dropped\":0"));
+        assert!(line.contains("\"faults_duplicated\":0"));
+        assert!(line.contains("\"faults_delayed\":0"));
+        assert!(line.contains("\"faults_retransmitted\":0"));
+        assert!(line.contains("\"stale_overwrites\":0"));
         assert!(line.contains("\"shard_phase_nanos\":[{\"send\":4,\"deliver\":5,\"receive\":6}]"));
         // Balanced braces/brackets — a cheap well-formedness check given the
         // workspace has no JSON parser to round-trip with.

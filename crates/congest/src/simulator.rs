@@ -24,6 +24,15 @@
 //! accounting semantics — and the largest message of the run is reported in
 //! [`RunMetrics::max_message_bits`].  Per-phase wall-clock totals are
 //! reported in [`RunMetrics::phase_nanos`].
+//!
+//! Rounds are barrier-synchronous by default.  A sharded run can relax
+//! this with [`crate::executor::DeliveryMode::Async`], under which late
+//! (delayed or duplicated) cross-shard messages from a
+//! [`crate::faults::FaultyTransport`] are accepted newest-wins instead of
+//! panicking; algorithms opt in via
+//! [`NodeAlgorithm::tolerates_async_delivery`].  See [`crate::faults`] for
+//! the fault model and [`crate::mc`] for the exhaustive schedule explorer
+//! built on the same semantics.
 
 use crate::algorithm::{NodeAlgorithm, NodeContext};
 use crate::executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};

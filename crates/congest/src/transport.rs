@@ -41,15 +41,18 @@
 //!
 //! 1. finish writing its own sealed frames, *reading opportunistically* so
 //!    peers are never blocked on a full buffer;
-//! 2. keep reading raw bytes until one complete frame per peer is buffered
-//!    (no decoding yet);
-//! 3. decode and deliver.
+//! 2. keep reading raw bytes until one complete frame per peer is buffered,
+//!    validating each frame's **header** (kind, round, shard pair) the
+//!    moment it completes — a late, duplicate or out-of-round frame is a
+//!    typed [`TransportError`] here, not a panic (no payload decoding yet);
+//! 3. decode payloads and deliver.
 //!
-//! Steps 1–2 perform no decoding and cannot panic on algorithm-level
-//! violations; by the time step 3 runs, every byte this shard owes its
-//! peers is already handed to the kernel, so a panic in step 3 (codec
-//! mismatch, CONGEST double-send) unwinds through the executor's poison
-//! barriers without stranding a peer mid-read.
+//! Step 1 performs no decoding and cannot fail on algorithm-level
+//! violations; by the time steps 2–3 can fail, every byte this shard owes
+//! its peers is already handed to the kernel, so an error (returned to the
+//! executor, which panics) or a panic (CONGEST double-send in the sink)
+//! unwinds through the executor's poison barriers without stranding a peer
+//! mid-read.
 
 use std::io::{Read, Write};
 use std::marker::PhantomData;
@@ -85,6 +88,56 @@ fn check_wire_shard_count(shards: usize) -> std::io::Result<()> {
     Ok(())
 }
 
+/// A checked failure surfaced by [`Transport::drain`]: the bytes arrived,
+/// but they are not the one well-formed data frame of the round this shard
+/// pair owes.
+///
+/// This is how a **late, duplicate or out-of-round frame** manifests: a
+/// frame stamped with round `r' != r` sitting at the front of the inbound
+/// buffer when the round-`r` deliver barrier drains it.  Before this type
+/// existed the socket backend asserted the invariant with a panic deep in
+/// its decode step; now the validation is an explicit, typed error at the
+/// transport seam (the executor still aborts the run on it — through its
+/// poison barriers — but callers driving a transport directly can observe
+/// and test the failure).  Kernel-level I/O failures (a peer closing its
+/// socket mid-run) remain panics: they are infrastructure collapse, not a
+/// protocol state that a test can construct and assert on.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A frame failed wire-level validation: malformed framing, or a header
+    /// stamped with the wrong round or shard pair
+    /// ([`WireError::RoundMismatch`](crate::wire::WireError::RoundMismatch) is the late/duplicate-frame case).
+    Wire(crate::wire::WireError),
+    /// The peer sent a well-formed frame of the wrong kind for this phase
+    /// of the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Wire(e) => write!(f, "wire-level frame validation failed: {e}"),
+            TransportError::Protocol(msg) => write!(f, "transport protocol violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Wire(e) => Some(e),
+            TransportError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<crate::wire::WireError> for TransportError {
+    fn from(e: crate::wire::WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
 /// The bounds a message type needs to cross a shard boundary: the engine
 /// bounds of [`NodeAlgorithm::Message`] plus a wire codec.
 ///
@@ -114,7 +167,20 @@ pub trait Transport<M: TransportMessage>: Sync {
 
     /// Delivers every message addressed to shard `to` for `round`, in
     /// sending-shard order, by invoking `sink(slot, sender, message)`.
-    fn drain(&self, to: usize, round: u64, sink: &mut dyn FnMut(u32, u32, M));
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] when an inbound frame fails validation —
+    /// a malformed frame, or a **late/duplicate frame** stamped with a round
+    /// other than `round` (wire-facing backends only; in-memory backends
+    /// cannot fail).  The executor treats any error as fatal for the run and
+    /// unwinds through its poison barriers.
+    fn drain(
+        &self,
+        to: usize,
+        round: u64,
+        sink: &mut dyn FnMut(u32, u32, M),
+    ) -> Result<(), TransportError>;
 }
 
 /// Builds a [`Transport`] for a concrete message type at run start.
@@ -166,7 +232,12 @@ impl<M: TransportMessage> Transport<M> for InProcessTransport<M> {
         0 // nothing to seal: values are already where the reader will look
     }
 
-    fn drain(&self, to: usize, _round: u64, sink: &mut dyn FnMut(u32, u32, M)) {
+    fn drain(
+        &self,
+        to: usize,
+        _round: u64,
+        sink: &mut dyn FnMut(u32, u32, M),
+    ) -> Result<(), TransportError> {
         for from in 0..self.shards {
             if from == to {
                 continue;
@@ -178,6 +249,7 @@ impl<M: TransportMessage> Transport<M> for InProcessTransport<M> {
                 sink(slot, sender, msg);
             }
         }
+        Ok(())
     }
 }
 
@@ -368,7 +440,12 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
         bytes
     }
 
-    fn drain(&self, to: usize, round: u64, sink: &mut dyn FnMut(u32, u32, M)) {
+    fn drain(
+        &self,
+        to: usize,
+        round: u64,
+        sink: &mut dyn FnMut(u32, u32, M),
+    ) -> Result<(), TransportError> {
         // Step 1: hand every byte we owe to the kernel, reading as we go so
         // no peer ever stalls on a full buffer waiting for us.
         loop {
@@ -391,8 +468,13 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
             }
         }
         // Step 2: buffer raw bytes until one complete frame per peer is in
-        // hand.  No decoding yet — nothing here can panic on algorithm-level
-        // violations, so peers can always finish their own step 1.
+        // hand, validating each frame's header the moment it materializes.
+        // This is where the "every round-r frame arrives before the round-r
+        // barrier" assumption is *checked* instead of assumed: a frame
+        // stamped with any other round — late, duplicated, or forged — is a
+        // typed [`TransportError`], not a decode-time surprise.  Decoding of
+        // payloads still waits for step 3 so peers can always finish their
+        // own step 1.
         loop {
             let mut missing = false;
             let mut progressed = false;
@@ -407,11 +489,18 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
                 progressed |= link.pump_in();
                 match link.inbox.next_frame() {
                     Ok(Some(frame)) => {
+                        if frame.header.kind != FrameKind::Data {
+                            return Err(TransportError::Protocol(format!(
+                                "expected a data frame from shard {peer}, got {:?}",
+                                frame.header.kind
+                            )));
+                        }
+                        frame.header.expect(round, peer as u16, to as u16)?;
                         link.frame = Some(frame);
                         progressed = true;
                     }
                     Ok(None) => missing = true,
-                    Err(e) => panic!("loopback transport received a malformed frame: {e}"),
+                    Err(e) => return Err(TransportError::Wire(e)),
                 }
             }
             if !missing {
@@ -421,20 +510,16 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
                 std::thread::yield_now();
             }
         }
-        // Step 3: validate, decode and deliver in sending-shard order.
+        // Step 3: decode and deliver in sending-shard order (headers were
+        // already validated as the frames arrived).
         for peer in 0..self.shards {
             if peer == to {
                 continue;
             }
             let frame = self.link(to, peer).frame.take().expect("frame buffered");
-            assert_eq!(frame.header.kind, FrameKind::Data, "expected a data frame");
-            frame
-                .header
-                .expect(round, peer as u16, to as u16)
-                .unwrap_or_else(|e| panic!("loopback transport frame out of sequence: {e}"));
-            for_each_data_entry::<M>(&frame.payload, &mut *sink)
-                .unwrap_or_else(|e| panic!("loopback transport payload failed to decode: {e}"));
+            for_each_data_entry::<M>(&frame.payload, &mut *sink)?;
         }
+        Ok(())
     }
 }
 
@@ -1156,5 +1241,76 @@ mod tests {
         assert_eq!(out.metrics.rounds, 4);
         assert!(out.metrics.hit_round_cap);
         assert_eq!(out.metrics.active_per_round, vec![n; 4]);
+    }
+
+    /// A 2-shard socket transport plus direct access to shard 0's outbound
+    /// link, for forging raw frames onto the 0→1 wire.
+    #[cfg(unix)]
+    fn forged_pair() -> SocketTransport<u64> {
+        let dense = ring(8);
+        let g = ShardedTopology::from_topology(&dense, 2).unwrap();
+        SocketLoopback::unix().build::<u64>(&g).unwrap()
+    }
+
+    /// Writes one raw frame from shard 0 to shard 1, bypassing the staging
+    /// and sealing path entirely.
+    #[cfg(unix)]
+    fn forge_frame(t: &SocketTransport<u64>, round: u64, payload: &[u8]) {
+        let header = FrameHeader {
+            kind: FrameKind::Data,
+            round,
+            from: 0,
+            to: 1,
+        };
+        let mut link = t.link(0, 1);
+        let mut out = std::mem::take(&mut link.out);
+        crate::wire::frame_into(&mut out, header, payload);
+        link.out = out;
+        while !link.write_done() {
+            link.pump_out();
+        }
+    }
+
+    /// The satellite fix pinned: a frame stamped with a future round sitting
+    /// on the wire at the round-0 barrier is a checked [`TransportError`]
+    /// (`WireError::RoundMismatch`), not a panic.
+    #[cfg(unix)]
+    #[test]
+    fn out_of_round_frame_is_a_checked_transport_error() {
+        let t = forged_pair();
+        forge_frame(&t, 5, &0u32.to_le_bytes());
+        let err = Transport::<u64>::drain(&t, 1, 0, &mut |_, _, _| {
+            panic!("nothing must be delivered from an out-of-round frame")
+        })
+        .expect_err("out-of-round frame must be rejected");
+        match err {
+            TransportError::Wire(crate::wire::WireError::RoundMismatch { expected, got }) => {
+                assert_eq!((expected, got), (0, 5));
+            }
+            other => panic!("expected a RoundMismatch, got {other}"),
+        }
+    }
+
+    /// A duplicated round-0 frame drains cleanly at round 0 — and the stale
+    /// copy left on the wire surfaces as a checked error at the round-1
+    /// barrier instead of being silently delivered as round-1 traffic.
+    #[cfg(unix)]
+    #[test]
+    fn duplicate_frame_surfaces_at_the_next_round_barrier() {
+        let t = forged_pair();
+        // Two identical round-0 frames: the original and its duplicate.
+        forge_frame(&t, 0, &0u32.to_le_bytes());
+        forge_frame(&t, 0, &0u32.to_le_bytes());
+        Transport::<u64>::drain(&t, 1, 0, &mut |_, _, _| {}).expect("round 0 drains the original");
+        let err = Transport::<u64>::drain(&t, 1, 1, &mut |_, _, _| {
+            panic!("the stale duplicate must not be delivered")
+        })
+        .expect_err("duplicate frame must be rejected at the next barrier");
+        match err {
+            TransportError::Wire(crate::wire::WireError::RoundMismatch { expected, got }) => {
+                assert_eq!((expected, got), (1, 0));
+            }
+            other => panic!("expected a RoundMismatch, got {other}"),
+        }
     }
 }

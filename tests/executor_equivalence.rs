@@ -16,8 +16,9 @@ use proptest::prelude::*;
 use dcme_baselines::degree_plus_one::{self, DegreePlusOneNode};
 use dcme_baselines::ultrafast::{self, UltrafastNode};
 use dcme_congest::{
-    ExecutionMode, Inbox, NodeAlgorithm, NodeContext, Outbox, RunOutcome, ShardedExecutor,
-    ShardedTopology, Simulator, SimulatorConfig, SocketLoopback, Topology, TransportBuilder,
+    ExecutionMode, FaultPlan, FaultyTransport, Inbox, NodeAlgorithm, NodeContext, Outbox,
+    RunOutcome, ShardedExecutor, ShardedTopology, Simulator, SimulatorConfig, SocketLoopback,
+    Topology, TransportBuilder,
 };
 use dcme_graphs::generators;
 
@@ -272,6 +273,69 @@ proptest! {
         assert_randomized_equivalence(&g, shards, threads, degree_plus_one::round_cap(n), || {
             (0..n).map(|_| DegreePlusOneNode::new(algo_seed)).collect::<Vec<_>>()
         });
+    }
+
+    /// Zero-fault regression: wrapping any transport in a `FaultyTransport`
+    /// with an **empty** fault plan must be bit-for-bit invisible — same
+    /// outputs, rounds, messages, bit accounting *and wire bytes* as the
+    /// unwrapped backend.  The fault layer may only cost when a plan fires.
+    #[test]
+    fn empty_fault_plan_is_bit_for_bit_invisible(
+        family in 0usize..4,
+        size in 8usize..48,
+        graph_seed in 0u64..200,
+        ttl_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        shards in 1usize..6,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let ttls = schedule(g.num_nodes(), ttl_seed);
+        let plan = FaultPlan::none(plan_seed);
+        prop_assert!(plan.is_empty());
+
+        let pairs = [
+            (
+                run_sharded(&g, &ttls, shards, dcme_congest::InProcess),
+                run_sharded(
+                    &g,
+                    &ttls,
+                    shards,
+                    FaultyTransport::new(plan.clone(), dcme_congest::InProcess),
+                ),
+            ),
+            (
+                run_sharded(&g, &ttls, shards, SocketLoopback::unix()),
+                run_sharded(
+                    &g,
+                    &ttls,
+                    shards,
+                    FaultyTransport::new(plan.clone(), SocketLoopback::unix()),
+                ),
+            ),
+        ];
+        let seq = run_with_mode(&g, &ttls, ExecutionMode::Sequential);
+        for (plain, faulty) in &pairs {
+            prop_assert_eq!(&seq.outputs, &faulty.outputs, "outputs vs sequential");
+            prop_assert_eq!(&plain.outputs, &faulty.outputs, "outputs vs unwrapped");
+            prop_assert_eq!(plain.metrics.rounds, faulty.metrics.rounds, "rounds");
+            prop_assert_eq!(plain.metrics.messages, faulty.metrics.messages, "messages");
+            prop_assert_eq!(plain.metrics.total_bits, faulty.metrics.total_bits, "bits");
+            prop_assert_eq!(
+                plain.metrics.wire_bytes_sent,
+                faulty.metrics.wire_bytes_sent,
+                "wire bytes"
+            );
+            prop_assert_eq!(
+                &plain.metrics.active_per_round,
+                &faulty.metrics.active_per_round,
+                "active sets"
+            );
+            prop_assert_eq!(faulty.metrics.faults_dropped, 0);
+            prop_assert_eq!(faulty.metrics.faults_duplicated, 0);
+            prop_assert_eq!(faulty.metrics.faults_delayed, 0);
+            prop_assert_eq!(faulty.metrics.faults_retransmitted, 0);
+            prop_assert_eq!(faulty.metrics.stale_overwrites, 0);
+        }
     }
 
     /// The round cap stops every executor at the same round with the cap
