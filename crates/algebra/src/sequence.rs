@@ -353,16 +353,23 @@ impl SequenceFamily {
     /// Batches have size `k`, except possibly the last one which has size
     /// `q - k⌊q/k⌋` as described in the paper.
     pub fn batch(&self, color: u64, batch: u64) -> Vec<Trial> {
+        let mut out = Vec::with_capacity(self.params.k as usize);
+        self.batch_into(color, batch, &mut out);
+        out
+    }
+
+    /// Appends batch `batch` of color `color`'s trial sequence to `out`
+    /// — the allocation-free variant of [`batch`](Self::batch) for hot
+    /// receive loops that pool many neighbours' batches in one buffer.
+    pub fn batch_into(&self, color: u64, batch: u64, out: &mut Vec<Trial>) {
         assert!(batch < self.params.rounds, "batch index out of range");
         let p = self.polynomial(color);
         let start = batch * self.params.k;
         let end = (start + self.params.k).min(self.params.q);
-        (start..end)
-            .map(|x| Trial {
-                slot: x % self.params.k,
-                value: p.eval(x),
-            })
-            .collect()
+        out.extend((start..end).map(|x| Trial {
+            slot: x % self.params.k,
+            value: p.eval(x),
+        }));
     }
 
     /// Number of batches `R`.

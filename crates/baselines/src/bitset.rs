@@ -1,0 +1,215 @@
+//! Word-at-a-time color-set bookkeeping for the randomized baselines.
+//!
+//! [`ColorSet`] is a growable `u64`-word bitmap over color ids, the
+//! raw-speed replacement for the `HashSet<u64>` the TryColor machinery
+//! used to track blocked colors with.  Every operation the hot paths
+//! need — membership, first-free, `n`-th-free, free counts below a
+//! palette bound — runs as a word scan with `trailing_ones` /
+//! `count_ones` instead of per-color hashing, so a `[Δ+1]` palette of a
+//! few thousand colors costs a few dozen word operations rather than a
+//! few thousand hash probes.
+//!
+//! Two properties the callers rely on:
+//!
+//! * **Growable past the palette.** A degree+1 list node can be told
+//!   about neighbour colors far above its own `deg(v)+1` list (the
+//!   neighbour's list is larger), so [`ColorSet::insert`] grows the
+//!   bitmap on demand and the palette-bounded queries take the bound as
+//!   an explicit argument.
+//! * **Order equivalence with the sorted free list.** `nth_free(p, i)`
+//!   returns the `i`-th smallest free color below `p` — exactly
+//!   `free[i]` of the materialised `Vec<u64>` the dense fallback of
+//!   `uniform_free_color` used to build, which is what keeps the
+//!   replacement bit-exact without allocating.
+
+/// A set of color ids stored as a `u64`-word bitmap.
+///
+/// Colors are small non-negative integers (palette indices), so the
+/// bitmap stays tiny: `Δ+1` colors occupy `⌈(Δ+1)/64⌉` words.
+#[derive(Debug, Clone, Default)]
+pub struct ColorSet {
+    words: Vec<u64>,
+}
+
+const WORD_BITS: u64 = 64;
+
+/// The index of the `n`-th set bit of `word` (`n < word.count_ones()`).
+#[inline]
+fn select_bit(mut word: u64, n: u64) -> u64 {
+    debug_assert!(n < u64::from(word.count_ones()));
+    for _ in 0..n {
+        word &= word - 1; // clear the lowest set bit
+    }
+    u64::from(word.trailing_zeros())
+}
+
+impl ColorSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set pre-sized to hold colors `< palette` without growing.
+    pub fn with_palette(palette: u64) -> Self {
+        Self {
+            words: vec![0; palette.div_ceil(WORD_BITS) as usize],
+        }
+    }
+
+    /// Inserts `color`; returns `true` if it was not present before.
+    /// Grows the bitmap as needed, so any `u64` color id is accepted.
+    #[inline]
+    pub fn insert(&mut self, color: u64) -> bool {
+        let word = (color / WORD_BITS) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (color % WORD_BITS);
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `color` is in the set.
+    #[inline]
+    pub fn contains(&self, color: u64) -> bool {
+        let word = (color / WORD_BITS) as usize;
+        self.words.get(word).copied().unwrap_or(0) & (1u64 << (color % WORD_BITS)) != 0
+    }
+
+    /// How many members are `< palette` (one popcount per word).
+    pub fn count_below(&self, palette: u64) -> u64 {
+        let full = (palette / WORD_BITS) as usize;
+        let mut count: u64 = self
+            .words
+            .iter()
+            .take(full)
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        let tail = palette % WORD_BITS;
+        if tail != 0 {
+            if let Some(&w) = self.words.get(full) {
+                count += u64::from((w & ((1u64 << tail) - 1)).count_ones());
+            }
+        }
+        count
+    }
+
+    /// How many colors `< palette` are **not** in the set.
+    pub fn count_free(&self, palette: u64) -> u64 {
+        palette - self.count_below(palette)
+    }
+
+    /// The smallest color `< palette` not in the set, scanning a word at
+    /// a time with `trailing_ones`.
+    pub fn find_first_free(&self, palette: u64) -> Option<u64> {
+        let mut base = 0u64;
+        for &w in &self.words {
+            if base >= palette {
+                return None;
+            }
+            let free = u64::from(w.trailing_ones());
+            if free < WORD_BITS {
+                let c = base + free;
+                return (c < palette).then_some(c);
+            }
+            base += WORD_BITS;
+        }
+        (base < palette).then_some(base)
+    }
+
+    /// The `n`-th smallest free color `< palette` (0-indexed), or `None`
+    /// if fewer than `n + 1` colors are free.  Equivalent to indexing the
+    /// sorted materialised free list, without building it.
+    pub fn nth_free(&self, palette: u64, n: u64) -> Option<u64> {
+        let mut remaining = n;
+        let mut base = 0u64;
+        while base < palette {
+            let word = self
+                .words
+                .get((base / WORD_BITS) as usize)
+                .copied()
+                .unwrap_or(0);
+            let mut free = !word;
+            let tail = palette - base;
+            if tail < WORD_BITS {
+                free &= (1u64 << tail) - 1;
+            }
+            let here = u64::from(free.count_ones());
+            if remaining < here {
+                return Some(base + select_bit(free, remaining));
+            }
+            remaining -= here;
+            base += WORD_BITS;
+        }
+        None
+    }
+
+    /// Empties the set, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_growth() {
+        let mut s = ColorSet::new();
+        assert!(!s.contains(0));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "second insert reports already-present");
+        assert!(s.contains(3));
+        // Far past the initial capacity: the bitmap grows on demand.
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        s.clear();
+        assert!(!s.contains(3) && !s.contains(1000));
+    }
+
+    #[test]
+    fn first_free_scans_words() {
+        let mut s = ColorSet::new();
+        assert_eq!(s.find_first_free(10), Some(0));
+        for c in 0..130 {
+            s.insert(c);
+        }
+        assert_eq!(s.find_first_free(130), None);
+        assert_eq!(s.find_first_free(131), Some(130));
+        assert_eq!(s.find_first_free(1000), Some(130));
+        assert_eq!(ColorSet::new().find_first_free(0), None);
+    }
+
+    #[test]
+    fn nth_free_matches_the_sorted_free_list() {
+        let mut s = ColorSet::new();
+        for c in [0u64, 1, 5, 64, 65, 127, 200] {
+            s.insert(c);
+        }
+        for palette in [1u64, 6, 64, 66, 128, 129, 300] {
+            let free: Vec<u64> = (0..palette).filter(|&c| !s.contains(c)).collect();
+            for (i, &expect) in free.iter().enumerate() {
+                assert_eq!(
+                    s.nth_free(palette, i as u64),
+                    Some(expect),
+                    "palette {palette} index {i}"
+                );
+            }
+            assert_eq!(s.nth_free(palette, free.len() as u64), None);
+            assert_eq!(s.count_free(palette), free.len() as u64);
+            assert_eq!(s.count_below(palette), palette - free.len() as u64);
+        }
+    }
+
+    #[test]
+    fn with_palette_presizes_without_changing_semantics() {
+        let mut s = ColorSet::with_palette(100);
+        assert_eq!(s.count_below(100), 0);
+        assert!(s.insert(99));
+        assert_eq!(s.count_below(100), 1);
+        assert_eq!(s.find_first_free(1), Some(0));
+    }
+}

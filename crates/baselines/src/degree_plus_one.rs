@@ -169,23 +169,22 @@ impl NodeAlgorithm for DegreePlusOneNode {
         if self.core.retire_after_announce() {
             return;
         }
-        let mut beaten = false;
+        // Branchless verdict accumulation: compare every message against
+        // the hoisted proposal key and fold `hit & priority` bits into one
+        // mask instead of branching per message (see `TryColorCore`).
+        let key = self.core.proposal_key();
+        let mut beaten = 0u64;
         for (_, msg) in inbox.iter() {
             match msg {
                 D1Message::Finalized { color } => {
-                    if self.core.block(*color) {
-                        beaten = true;
-                    }
+                    beaten |= self.core.block_mask(*color);
                 }
                 D1Message::Propose { color, priority } => {
-                    if self.core.proposal == Some(*color) && *priority < self.id {
-                        beaten = true;
-                    }
+                    beaten |= u64::from(*color == key) & u64::from(*priority < self.id);
                 }
             }
         }
-        self.core.resolve(beaten);
-        self.core.clear_proposal();
+        self.core.observe_round(beaten);
     }
 
     fn is_halted(&self) -> bool {

@@ -17,6 +17,9 @@
 //! randomized machinery the source paper positions itself against, running
 //! on the same engine, transports and bandwidth accounting:
 //!
+//! * [`bitset`] — word-at-a-time [`bitset::ColorSet`] palettes: the
+//!   blocked/seen-color bookkeeping of every hot path below, as popcount
+//!   word scans instead of hashing;
 //! * [`rand_primitives`] — shared machinery: stateless per-`(seed, node,
 //!   round)` PRNG streams (executor- and transport-independent), the
 //!   TryColor core, uniform free-color sampling, palette-sparsified
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod degree_plus_one;
 pub mod greedy;
 pub mod kw;

@@ -38,10 +38,10 @@
 //!   predates it and keeps its inline copy as the independently-written
 //!   reference).
 
-use std::collections::HashSet;
-
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt, SeedableRng};
+
+use crate::bitset::ColorSet;
 
 /// SplitMix64's avalanche: a bijective mixer with full 64-bit diffusion.
 fn avalanche(mut z: u64) -> u64 {
@@ -78,28 +78,32 @@ pub fn slack(palette: u64, active_neighbors: usize, blocked: usize) -> i64 {
 /// free.
 ///
 /// Rejection-samples the palette (fast while the free fraction is large)
-/// and falls back to indexing the materialised free set, so the draw is
-/// exactly uniform over the free colors in every regime.
+/// and falls back to rank-indexing the free set in place
+/// ([`ColorSet::nth_free`], no allocation), so the draw is exactly
+/// uniform over the free colors in every regime.  The draw sequence is
+/// bit-identical to the historical `HashSet` + materialised-`Vec`
+/// implementation: the rejection loop consumes the same draws, and the
+/// fallback's `nth_free(palette, i)` is exactly `free[i]` of the sorted
+/// free list it used to build.
 pub fn uniform_free_color<R: RngCore>(
     rng: &mut R,
     palette: u64,
-    blocked: &HashSet<u64>,
+    blocked: &ColorSet,
 ) -> Option<u64> {
     if palette == 0 {
         return None;
     }
-    let blocked_in = blocked.iter().filter(|&&c| c < palette).count() as u64;
-    if blocked_in >= palette {
+    let free = blocked.count_free(palette);
+    if free == 0 {
         return None;
     }
     for _ in 0..64 {
         let c = rng.random_range(0..palette);
-        if !blocked.contains(&c) {
+        if !blocked.contains(c) {
             return Some(c);
         }
     }
-    let free: Vec<u64> = (0..palette).filter(|c| !blocked.contains(c)).collect();
-    Some(free[rng.random_range(0..free.len())])
+    blocked.nth_free(palette, rng.random_range(0..free))
 }
 
 /// Palette sparsification: `min(k, palette)` *distinct* colors drawn
@@ -110,13 +114,14 @@ pub fn uniform_free_color<R: RngCore>(
 /// topped up with the smallest unsampled colors so the function always
 /// returns exactly `min(k, palette)` candidates.
 pub fn sample_candidates<R: RngCore>(rng: &mut R, palette: u64, k: usize) -> Vec<u64> {
+    // The batch size is capped at the palette size up front — the loop
+    // below is purely a rejection budget, never the size bound.
     let want = (k as u64).min(palette) as usize;
     let mut out = Vec::with_capacity(want);
-    let mut seen = HashSet::with_capacity(want);
-    for _ in 0..32 * want {
-        if out.len() == want {
-            break;
-        }
+    let mut seen = ColorSet::with_palette(palette);
+    let mut budget = 32 * want;
+    while out.len() < want && budget > 0 {
+        budget -= 1;
         let c = rng.random_range(0..palette);
         if seen.insert(c) {
             out.push(c);
@@ -176,8 +181,9 @@ pub fn classify_slack(tried: usize, distinct: usize) -> Bucket {
 /// [`retire_after_announce`]: TryColorCore::retire_after_announce
 #[derive(Debug, Clone, Default)]
 pub struct TryColorCore {
-    /// Colors permanently taken by finalised neighbours.
-    pub blocked: HashSet<u64>,
+    /// Colors permanently taken by finalised neighbours (a word-bitmap;
+    /// see [`ColorSet`] for why it may hold colors past the palette).
+    pub blocked: ColorSet,
     /// This round's proposal, if any.
     pub proposal: Option<u64>,
     /// The permanently adopted color.
@@ -208,6 +214,31 @@ impl TryColorCore {
     pub fn block(&mut self, color: u64) -> bool {
         self.blocked.insert(color);
         self.proposal == Some(color)
+    }
+
+    /// The proposal as a branchless comparison key: the proposed color, or
+    /// `u64::MAX` (outside every palette) when the node is silent.  Lets a
+    /// receive loop test `color == key` with a plain integer compare
+    /// instead of an `Option` match per message.
+    #[inline]
+    pub fn proposal_key(&self) -> u64 {
+        self.proposal.unwrap_or(u64::MAX)
+    }
+
+    /// Branchless [`block`](Self::block): inserts `color` and returns the
+    /// collision verdict as a `0`/`1` mask to `|=` into an accumulator.
+    #[inline]
+    pub fn block_mask(&mut self, color: u64) -> u64 {
+        self.blocked.insert(color);
+        u64::from(color == self.proposal_key())
+    }
+
+    /// Ends the round from an accumulated beaten mask (any non-zero bit ⇒
+    /// beaten): resolves the proposal and clears it — the batched
+    /// equivalent of `resolve(beaten); clear_proposal()`.
+    pub fn observe_round(&mut self, beaten_mask: u64) {
+        self.resolve(beaten_mask != 0);
+        self.clear_proposal();
     }
 
     /// Ends the round: an unbeaten proposal becomes the final color.
@@ -249,6 +280,15 @@ impl TryColorCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+
+    fn color_set(colors: impl IntoIterator<Item = u64>) -> ColorSet {
+        let mut s = ColorSet::new();
+        for c in colors {
+            s.insert(c);
+        }
+        s
+    }
 
     #[test]
     fn round_streams_are_deterministic_and_distinct() {
@@ -272,25 +312,148 @@ mod tests {
     #[test]
     fn free_color_is_never_blocked_and_none_when_exhausted() {
         let mut rng = round_rng(7, 0, 0);
-        let blocked: HashSet<u64> = [0, 2, 4].into_iter().collect();
+        let blocked = color_set([0, 2, 4]);
         for _ in 0..200 {
             let c = uniform_free_color(&mut rng, 6, &blocked).unwrap();
-            assert!(c < 6 && !blocked.contains(&c));
+            assert!(c < 6 && !blocked.contains(c));
         }
-        let all: HashSet<u64> = (0..6).collect();
+        let all = color_set(0..6);
         assert_eq!(uniform_free_color(&mut rng, 6, &all), None);
-        assert_eq!(uniform_free_color(&mut rng, 0, &HashSet::new()), None);
+        assert_eq!(uniform_free_color(&mut rng, 0, &ColorSet::new()), None);
     }
 
     #[test]
     fn free_color_dense_fallback_stays_uniform_over_the_free_set() {
         // 1 free color in 1000: rejection nearly always fails its budget,
-        // forcing the materialised-free-set path.
-        let blocked: HashSet<u64> = (0..1000).filter(|&c| c != 123).collect();
+        // forcing the nth_free rank-indexed path.
+        let blocked = color_set((0..1000).filter(|&c| c != 123));
         let mut rng = round_rng(3, 1, 2);
         for _ in 0..20 {
             assert_eq!(uniform_free_color(&mut rng, 1000, &blocked), Some(123));
         }
+    }
+
+    /// The historical `HashSet` + materialised-`Vec` implementations, kept
+    /// verbatim as the draw-sequence reference for the bitset rewrite.
+    mod reference {
+        use super::HashSet;
+        use rand::{RngCore, RngExt};
+
+        pub fn uniform_free_color<R: RngCore>(
+            rng: &mut R,
+            palette: u64,
+            blocked: &HashSet<u64>,
+        ) -> Option<u64> {
+            if palette == 0 {
+                return None;
+            }
+            let blocked_in = blocked.iter().filter(|&&c| c < palette).count() as u64;
+            if blocked_in >= palette {
+                return None;
+            }
+            for _ in 0..64 {
+                let c = rng.random_range(0..palette);
+                if !blocked.contains(&c) {
+                    return Some(c);
+                }
+            }
+            let free: Vec<u64> = (0..palette).filter(|c| !blocked.contains(c)).collect();
+            Some(free[rng.random_range(0..free.len())])
+        }
+
+        pub fn sample_candidates<R: RngCore>(rng: &mut R, palette: u64, k: usize) -> Vec<u64> {
+            let want = (k as u64).min(palette) as usize;
+            let mut out = Vec::with_capacity(want);
+            let mut seen = HashSet::with_capacity(want);
+            for _ in 0..32 * want {
+                if out.len() == want {
+                    break;
+                }
+                let c = rng.random_range(0..palette);
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+            let mut c = 0;
+            while out.len() < want {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+                c += 1;
+            }
+            out
+        }
+    }
+
+    /// The bitset rewrite must be draw-for-draw identical to the old
+    /// `HashSet` implementation: same results *and* the shared generator
+    /// left in the same state (i.e. the same number of draws consumed),
+    /// across sparse, dense and exhausted palettes for seeds 0..32.
+    #[test]
+    fn bitset_draw_sequence_matches_the_hashset_reference() {
+        for seed in 0..32u64 {
+            for (palette, blocked_n) in [
+                (1u64, 0u64),
+                (7, 3),
+                (64, 60),
+                (100, 99),
+                (1000, 997),
+                (65, 0),
+            ] {
+                // A seed-dependent blocked set with `blocked_n` members.
+                let mut pick = round_rng(seed ^ 0xB10C, 0, palette);
+                let mut old_blocked = HashSet::new();
+                let mut new_blocked = ColorSet::new();
+                while (old_blocked.len() as u64) < blocked_n {
+                    let c = pick.random_range(0..palette);
+                    if old_blocked.insert(c) {
+                        new_blocked.insert(c);
+                    }
+                }
+
+                let mut old_rng = round_rng(seed, 1, 2);
+                let mut new_rng = round_rng(seed, 1, 2);
+                for _ in 0..40 {
+                    assert_eq!(
+                        reference::uniform_free_color(&mut old_rng, palette, &old_blocked),
+                        uniform_free_color(&mut new_rng, palette, &new_blocked),
+                        "seed {seed} palette {palette} blocked {blocked_n}"
+                    );
+                }
+                for k in [1usize, 3, 8, 64] {
+                    assert_eq!(
+                        reference::sample_candidates(&mut old_rng, palette, k),
+                        sample_candidates(&mut new_rng, palette, k),
+                        "seed {seed} palette {palette} k {k}"
+                    );
+                }
+                // Same draw counts: the streams stay aligned to the end.
+                assert_eq!(old_rng.next_u64(), new_rng.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn observe_round_mirrors_resolve_and_clear() {
+        let mut batched = TryColorCore::new();
+        batched.propose(4);
+        assert_eq!(batched.proposal_key(), 4);
+        let mut mask = 0u64;
+        mask |= batched.block_mask(2);
+        mask |= u64::from(3 == batched.proposal_key());
+        assert_eq!(mask, 0);
+        mask |= batched.block_mask(4);
+        assert_eq!(mask, 1);
+        batched.observe_round(mask);
+        assert_eq!(batched.finalized, None, "a blocked proposal is beaten");
+        assert_eq!(batched.proposal, None);
+        assert!(batched.blocked.contains(2) && batched.blocked.contains(4));
+
+        batched.propose(7);
+        batched.observe_round(0);
+        assert_eq!(batched.finalized, Some(7));
+        // A silent node's key collides with nothing in any palette.
+        assert_eq!(TryColorCore::new().proposal_key(), u64::MAX);
     }
 
     #[test]

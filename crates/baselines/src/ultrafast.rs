@@ -41,6 +41,7 @@ use dcme_graphs::verify;
 use rand::distr::Bernoulli;
 use rand::RngExt;
 
+use crate::bitset::ColorSet;
 use crate::rand_primitives::{
     classify_slack, round_rng, sample_candidates, uniform_free_color, Bucket, TryColorCore,
 };
@@ -196,8 +197,9 @@ impl UltrafastNode {
     }
 
     fn smallest_free(&self) -> u64 {
-        (0..self.palette)
-            .find(|c| !self.core.blocked.contains(c))
+        self.core
+            .blocked
+            .find_first_free(self.palette)
             .expect("a [Δ+1] palette cannot be exhausted by < Δ+1 finalised neighbours")
     }
 }
@@ -239,7 +241,7 @@ impl NodeAlgorithm for UltrafastNode {
             // Phase 2: synchronized trial over a sparsified candidate batch.
             let color = sample_candidates(&mut rng, self.palette, TRIAL_CANDIDATES)
                 .into_iter()
-                .find(|c| !self.core.blocked.contains(c))
+                .find(|&c| !self.core.blocked.contains(c))
                 .unwrap_or_else(|| {
                     uniform_free_color(&mut rng, self.palette, &self.core.blocked)
                         .expect("a [Δ+1] palette always has a free color")
@@ -259,49 +261,40 @@ impl NodeAlgorithm for UltrafastNode {
         if self.core.retire_after_announce() {
             return;
         }
-        let mut beaten = false;
+        // Branchless verdict accumulation: the proposal and what-we-sent
+        // become comparison masks hoisted out of the loop, and every
+        // message contributes `hit & rank` bits to one accumulator
+        // instead of steering its own conditional chain.  A fallback
+        // proposal outranks every random trial; contested random trials
+        // fail symmetrically; competing fallbacks break the tie by id.
+        let key = self.core.proposal_key();
+        let sent_try = u64::from(self.sent == SentKind::Try);
+        let sent_fallback = u64::from(self.sent == SentKind::Fallback);
+        let mut beaten = 0u64;
         let (mut tried, mut distinct) = (0usize, 0usize);
-        let mut seen_round0 = std::collections::HashSet::new();
+        let mut seen_round0 = ColorSet::with_palette(self.palette);
         for (_, msg) in inbox.iter() {
             match msg {
                 UltrafastMessage::Adopt { color } => {
-                    if self.core.block(*color) {
-                        beaten = true;
-                    }
+                    beaten |= self.core.block_mask(*color);
                 }
                 UltrafastMessage::Try { color } => {
                     if ctx.round == 0 {
                         tried += 1;
-                        if seen_round0.insert(*color) {
-                            distinct += 1;
-                        }
+                        distinct += usize::from(seen_round0.insert(*color));
                     }
-                    // A contested random trial fails symmetrically; a
-                    // fallback proposal outranks every random trial.
-                    if self.core.proposal == Some(*color) && self.sent == SentKind::Try {
-                        beaten = true;
-                    }
+                    beaten |= u64::from(*color == key) & sent_try;
                 }
                 UltrafastMessage::Fallback { color, id } => {
-                    if self.core.proposal == Some(*color) {
-                        match self.sent {
-                            SentKind::Try => beaten = true,
-                            SentKind::Fallback => {
-                                if *id < self.id {
-                                    beaten = true;
-                                }
-                            }
-                            SentKind::Nothing => {}
-                        }
-                    }
+                    let outranked = sent_try | (sent_fallback & u64::from(*id < self.id));
+                    beaten |= u64::from(*color == key) & outranked;
                 }
             }
         }
         if ctx.round == 0 {
             self.bucket = classify_slack(tried, distinct);
         }
-        self.core.resolve(beaten);
-        self.core.clear_proposal();
+        self.core.observe_round(beaten);
     }
 
     fn is_halted(&self) -> bool {

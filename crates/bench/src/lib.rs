@@ -40,14 +40,21 @@
 //! {"label":"ring/n20000/sharded4","rounds":16,"messages":833568,"total_bits":12015224,
 //!  "max_message_bits":15,"hit_round_cap":false,"intra_shard_messages":833540,
 //!  "cross_shard_messages":28,"wire_bytes_sent":3584,"transport_flush_nanos":113917,
-//!  "faults_dropped":0,"faults_duplicated":0,"faults_delayed":0,
+//!  "syscall_batches":96,"faults_dropped":0,"faults_duplicated":0,"faults_delayed":0,
 //!  "faults_retransmitted":0,"stale_overwrites":0,
 //!  "active_per_round":[20000,…],"phase_nanos":{"send":…,"deliver":…,"receive":…},
 //!  "shard_phase_nanos":[{…},…]}
 //! ```
 //!
+//! `syscall_batches` counts the kernel write batches the cross-shard socket
+//! transport issued (one per successful `write(2)`; a whole round's frames
+//! coalesced into one write count once).  Zero for in-memory backends, and —
+//! like the two timing counters — scheduling-dependent, so exempt from the
+//! executor-equivalence guarantee.
+//!
 //! Fields are only ever **added** (`wire_bytes_sent` and
-//! `transport_flush_nanos` arrived with the transport subsystem, the five
+//! `transport_flush_nanos` arrived with the transport subsystem,
+//! `syscall_batches` with the overlapped socket drain, the five
 //! `faults_*`/`stale_overwrites` counters with the fault-injection harness
 //! — see [`experiments::ef_fault_injection`] and the `exp_faults` binary),
 //! so rows stay parseable across versions; consumers must ignore unknown

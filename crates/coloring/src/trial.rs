@@ -22,7 +22,6 @@
 //! silently: parameter errors, improper inputs and non-termination are
 //! reported as [`ColoringError`]s.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use dcme_algebra::logstar::bits_for;
@@ -167,8 +166,11 @@ pub struct TrialNode {
     family: Arc<SequenceFamily>,
     input_color: u64,
     /// Ports of neighbours that are already permanently colored, with their
-    /// adopted trial.
-    colored_neighbors: HashMap<usize, Trial>,
+    /// adopted trial, in announcement order (each port announces once).
+    colored_neighbors: Vec<(usize, Trial)>,
+    /// Reusable flat pool of every active neighbour's current batch — the
+    /// per-round scratch of the batched conflict scan in `receive`.
+    trial_pool: Vec<Trial>,
     /// The adopted trial and the iteration in which it was adopted.
     adopted: Option<(Trial, u64)>,
     /// Whether the adopted color has been announced (the node halts right
@@ -189,7 +191,8 @@ impl TrialNode {
         Self {
             family,
             input_color,
-            colored_neighbors: HashMap::new(),
+            colored_neighbors: Vec::new(),
+            trial_pool: Vec::new(),
             adopted: None,
             announced: false,
             out_ports: Vec::new(),
@@ -232,11 +235,13 @@ impl NodeAlgorithm for TrialNode {
     fn receive(&mut self, ctx: &NodeContext, inbox: &Inbox<'_, TrialMessage>) {
         let q = self.q();
 
-        // Record neighbours that announced a permanent color this round.
-        for (port, msg) in inbox.iter() {
-            if let TrialMessage::Adopted { color } = msg {
+        // Record neighbours that announced a permanent color this round —
+        // one contiguous pass over the CSR slot arena.  A port announces
+        // at most once over the whole run, so appending never duplicates.
+        for (port, slot) in inbox.slots().iter().enumerate() {
+            if let Some(TrialMessage::Adopted { color }) = slot {
                 self.colored_neighbors
-                    .insert(port, Trial::decode(*color, q));
+                    .push((port, Trial::decode(*color, q)));
             }
         }
 
@@ -268,35 +273,34 @@ impl NodeAlgorithm for TrialNode {
             return;
         }
 
-        // Collect the input colors of neighbours that are still active this
-        // round: they are exactly the senders of `Active` messages.
-        let active_neighbors: Vec<u64> = inbox
-            .iter()
-            .filter_map(|(_, msg)| match msg {
-                TrialMessage::Active { input_color } => Some(*input_color),
-                TrialMessage::Adopted { .. } => None,
-            })
-            .collect();
-
-        // Pre-compute the batches the active neighbours try this round.
-        let neighbor_batches: Vec<Vec<Trial>> = active_neighbors
-            .iter()
-            .map(|&c| self.family.batch(c, iteration))
-            .collect();
+        // Pool every active neighbour's current batch into one flat,
+        // reusable buffer.  Within a batch the trial slots `x mod k` are
+        // pairwise distinct, so a neighbour's batch contains a given pair
+        // at most once — counting equality matches over the flat pool is
+        // exactly the old per-batch `contains` count, as one branchless
+        // linear scan instead of nested early-exit loops.
+        self.trial_pool.clear();
+        for slot in inbox.slots().iter().flatten() {
+            if let TrialMessage::Active { input_color } = slot {
+                self.family
+                    .batch_into(*input_color, iteration, &mut self.trial_pool);
+            }
+        }
 
         let my_batch = self.family.batch(self.input_color, iteration);
         let d = self.defect();
 
         for trial in my_batch {
-            let same_round_conflicts = neighbor_batches
+            let same_round_conflicts: usize = self
+                .trial_pool
                 .iter()
-                .filter(|batch| batch.contains(&trial))
-                .count();
-            let colored_conflicts = self
+                .map(|&t| usize::from(t == trial))
+                .sum();
+            let colored_conflicts: usize = self
                 .colored_neighbors
-                .values()
-                .filter(|&&t| t == trial)
-                .count();
+                .iter()
+                .map(|&(_, t)| usize::from(t == trial))
+                .sum();
             if same_round_conflicts + colored_conflicts <= d {
                 // Adopt.  Orient edges towards neighbours already colored
                 // with the same pair.
@@ -304,8 +308,8 @@ impl NodeAlgorithm for TrialNode {
                 self.out_ports = self
                     .colored_neighbors
                     .iter()
-                    .filter(|(_, &t)| t == trial)
-                    .map(|(&port, _)| port)
+                    .filter(|&&(_, t)| t == trial)
+                    .map(|&(port, _)| port)
                     .collect();
                 break;
             }

@@ -123,6 +123,17 @@ impl<'a, M> Inbox<'a, M> {
             .filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
     }
 
+    /// The contiguous per-port slot slice backing this inbox (`slots[p]`
+    /// holds port `p`'s message, if any) — straight out of the executor's
+    /// CSR slot arena.  Batched receive loops scan this directly (e.g.
+    /// `inbox.slots().iter().flatten()` when ports don't matter): one
+    /// linear pass over adjacent memory the compiler can unroll and
+    /// vectorise, where [`iter`](Self::iter)'s filter-map chain would
+    /// re-branch per slot.
+    pub fn slots(&self) -> &'a [Option<M>] {
+        self.slots
+    }
+
     /// The message that arrived on `port`, if any.
     pub fn from_port(&self, port: Port) -> Option<&'a M> {
         self.slots.get(port)?.as_ref()

@@ -759,6 +759,7 @@ pub(crate) struct ShardReport {
     pub(crate) cross: u64,
     pub(crate) wire_bytes: u64,
     pub(crate) flush_nanos: u64,
+    pub(crate) syscall_batches: u64,
     pub(crate) stale_overwrites: u64,
     pub(crate) timings: PhaseTimings,
 }
@@ -855,6 +856,7 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
             metrics.cross_shard_messages += r.cross;
             metrics.wire_bytes_sent += r.wire_bytes;
             metrics.transport_flush_nanos += r.flush_nanos;
+            metrics.syscall_batches += r.syscall_batches;
             metrics.stale_overwrites += r.stale_overwrites;
             metrics.shard_phase_nanos.push(r.timings);
         }
@@ -1063,6 +1065,7 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
     for i in touched.drain(..) {
         slots[i] = None;
     }
+    local.syscall_batches = transport.syscall_batches(shard);
     *report.lock().unwrap_or_else(|e| e.into_inner()) = local;
 }
 

@@ -530,6 +530,10 @@ impl<T: Transport<M>, M: TransportMessage> Transport<M> for FaultyLayer<T, M> {
     ) -> Result<(), TransportError> {
         self.inner.drain(to, round, sink)
     }
+
+    fn syscall_batches(&self, from: usize) -> u64 {
+        self.inner.syscall_batches(from)
+    }
 }
 
 impl<T, M> FaultyLayer<T, M> {

@@ -84,6 +84,14 @@ pub struct RunMetrics {
     /// Cumulative wall-clock time the transport spent sealing and flushing
     /// frames at the send barrier, in nanoseconds (summed across shards).
     pub transport_flush_nanos: u64,
+    /// Number of kernel write batches the cross-shard transport issued — one
+    /// per successful `write(2)` syscall, summed across shards.  Many small
+    /// messages sealed into one frame and handed to the kernel together
+    /// count as **one** batch, so this is the observable for frame
+    /// coalescing.  Zero for in-memory backends; scheduling-dependent for
+    /// socket backends (a full socket buffer splits a write), so — like the
+    /// timing counters — exempt from the executor-equivalence guarantee.
+    pub syscall_batches: u64,
     /// Cross-shard messages dropped by an injected fault (including
     /// partition drops).  Zero unless the run used a
     /// [`FaultyTransport`](crate::faults::FaultyTransport).
@@ -128,6 +136,7 @@ impl RunMetrics {
         self.cross_shard_messages += other.cross_shard_messages;
         self.wire_bytes_sent += other.wire_bytes_sent;
         self.transport_flush_nanos += other.transport_flush_nanos;
+        self.syscall_batches += other.syscall_batches;
         self.faults_dropped += other.faults_dropped;
         self.faults_duplicated += other.faults_duplicated;
         self.faults_delayed += other.faults_delayed;
@@ -187,6 +196,7 @@ impl RunMetrics {
             ",\"transport_flush_nanos\":{}",
             self.transport_flush_nanos
         ));
+        out.push_str(&format!(",\"syscall_batches\":{}", self.syscall_batches));
         out.push_str(&format!(",\"faults_dropped\":{}", self.faults_dropped));
         out.push_str(&format!(
             ",\"faults_duplicated\":{}",
@@ -380,6 +390,7 @@ mod tests {
             }],
             wire_bytes_sent: 100 * scale,
             transport_flush_nanos: 200 * scale,
+            syscall_batches: 300 * scale,
             faults_dropped: 13 * scale,
             faults_duplicated: 17 * scale,
             faults_delayed: 19 * scale,
@@ -407,6 +418,7 @@ mod tests {
             cross_shard_messages: 44,
             wire_bytes_sent: 1100,
             transport_flush_nanos: 2200,
+            syscall_batches: 3300,
             faults_dropped: 143,
             faults_duplicated: 187,
             faults_delayed: 209,
@@ -433,6 +445,7 @@ mod tests {
         m.intra_shard_messages = 1;
         m.wire_bytes_sent = 77;
         m.transport_flush_nanos = 88;
+        m.syscall_batches = 99;
         m.shard_phase_nanos = vec![PhaseTimings {
             send: 4,
             deliver: 5,
@@ -450,6 +463,7 @@ mod tests {
         assert!(line.contains("\"cross_shard_messages\":0"));
         assert!(line.contains("\"wire_bytes_sent\":77"));
         assert!(line.contains("\"transport_flush_nanos\":88"));
+        assert!(line.contains("\"syscall_batches\":99"));
         assert!(line.contains("\"faults_dropped\":0"));
         assert!(line.contains("\"faults_duplicated\":0"));
         assert!(line.contains("\"faults_delayed\":0"));

@@ -181,6 +181,19 @@ pub trait Transport<M: TransportMessage>: Sync {
         round: u64,
         sink: &mut dyn FnMut(u32, u32, M),
     ) -> Result<(), TransportError>;
+
+    /// The number of kernel write batches shard `from` has issued so far —
+    /// one per successful `write(2)` syscall on its outbound peer links.
+    /// This is the observable for frame coalescing: many small messages
+    /// sealed into one frame and flushed in one write count as **one**
+    /// batch.  In-memory backends never enter the kernel, so the default
+    /// is 0.  Scheduling-dependent (how often a write is split by a full
+    /// socket buffer varies run to run), so it is reported in
+    /// [`RunMetrics`] but exempt from bit-for-bit
+    /// equivalence checks, like the flush timing counters.
+    fn syscall_batches(&self, _from: usize) -> u64 {
+        0
+    }
 }
 
 /// Builds a [`Transport`] for a concrete message type at run start.
@@ -316,12 +329,44 @@ enum LoopbackStream {
     Tcp(std::net::TcpStream),
 }
 
+/// How long one blocked readiness wait may last before the drain loop
+/// re-sweeps every peer.  Waits normally end much earlier — the kernel
+/// wakes the reader the moment bytes arrive — the timeout only bounds a
+/// wait on the wrong peer, preserving the liveness the old spin loop had.
+const READINESS_WAIT: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// How many fruitless full sweeps the drain loop spins through (with
+/// `yield_now`) before it parks in a blocked readiness wait.  Short stalls
+/// — the common case, a peer is a few instructions from its own flush —
+/// resolve within the spin and never pay a mode-switch syscall; only a
+/// genuinely long stall (the peer is still computing its send phase) falls
+/// through to the kernel-parked wait that frees the core for that peer.
+const SPIN_PASSES: u32 = 64;
+
 impl LoopbackStream {
     fn set_nonblocking(&self) -> std::io::Result<()> {
         match self {
             #[cfg(unix)]
             LoopbackStream::Unix(s) => s.set_nonblocking(true),
             LoopbackStream::Tcp(s) => s.set_nonblocking(true),
+        }
+    }
+
+    /// Switches to blocking mode with `timeout` on both directions — the
+    /// readiness-wait window of [`PeerLink::wait_in`] / [`PeerLink::wait_out`].
+    fn set_blocking_window(&self, timeout: std::time::Duration) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            LoopbackStream::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(timeout))?;
+                s.set_write_timeout(Some(timeout))
+            }
+            LoopbackStream::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(timeout))?;
+                s.set_write_timeout(Some(timeout))
+            }
         }
     }
 
@@ -358,6 +403,10 @@ struct PeerLink {
     inbox: FrameBuffer,
     /// The (single) complete inbound frame of the current round.
     frame: Option<Frame>,
+    /// Kernel write batches issued on this link (one per successful
+    /// `write` syscall) — the coalescing evidence behind the
+    /// `syscall_batches` run metric.
+    writes: u64,
 }
 
 impl PeerLink {
@@ -369,6 +418,7 @@ impl PeerLink {
                 Ok(0) => panic!("loopback transport peer closed its socket"),
                 Ok(n) => {
                     self.out_pos += n;
+                    self.writes += 1;
                     progressed = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -402,6 +452,76 @@ impl PeerLink {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => panic!("loopback transport read failed: {e}"),
             }
+        }
+        progressed
+    }
+
+    /// Blocks (bounded by [`READINESS_WAIT`]) until this link has inbound
+    /// bytes, feeding whatever arrives; true if bytes arrived.  The kernel
+    /// parks the thread and wakes it on arrival — the poll-based
+    /// replacement for spinning through `yield_now` while a peer computes.
+    fn wait_in(&mut self) -> bool {
+        if self.stream.set_blocking_window(READINESS_WAIT).is_err() {
+            std::thread::yield_now();
+            return false;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let progressed = match self.stream.read_nb(&mut buf) {
+            Ok(0) => panic!("loopback transport peer closed its socket"),
+            Ok(n) => {
+                self.inbox.feed(&buf[..n]);
+                true
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                false
+            }
+            Err(e) => panic!("loopback transport read failed: {e}"),
+        };
+        self.stream
+            .set_nonblocking()
+            .expect("restoring nonblocking mode");
+        progressed
+    }
+
+    /// Blocks (bounded by [`READINESS_WAIT`]) until this link's socket can
+    /// absorb more of the pending outbound bytes; true if any were written.
+    fn wait_out(&mut self) -> bool {
+        if self.stream.set_blocking_window(READINESS_WAIT).is_err() {
+            std::thread::yield_now();
+            return false;
+        }
+        let progressed = match self.stream.write_nb(&self.out[self.out_pos..]) {
+            Ok(0) => panic!("loopback transport peer closed its socket"),
+            Ok(n) => {
+                self.out_pos += n;
+                self.writes += 1;
+                true
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                false
+            }
+            Err(e) => panic!("loopback transport write failed: {e}"),
+        };
+        self.stream
+            .set_nonblocking()
+            .expect("restoring nonblocking mode");
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
         }
         progressed
     }
@@ -447,9 +567,18 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
         sink: &mut dyn FnMut(u32, u32, M),
     ) -> Result<(), TransportError> {
         // Step 1: hand every byte we owe to the kernel, reading as we go so
-        // no peer ever stalls on a full buffer waiting for us.
+        // no peer ever stalls on a full buffer waiting for us.  When a pass
+        // over every peer makes no progress, the stall means some peer's
+        // socket buffer is full while that peer computes.  Spin briefly
+        // (short stalls resolve in a few sweeps), then stop burning the
+        // CPU the stalled peer needs — on oversubscribed machines a
+        // `yield_now` spinner competes with the very peer it waits for —
+        // and park in a bounded blocking write on one stalled link, letting
+        // the kernel wake us the moment space frees up.
+        let mut rotor = 0usize;
+        let mut idle = 0u32;
         loop {
-            let mut pending = false;
+            let mut stalled: Vec<usize> = Vec::new();
             let mut progressed = false;
             for peer in 0..self.shards {
                 if peer == to {
@@ -457,14 +586,27 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
                 }
                 let mut link = self.link(to, peer);
                 progressed |= link.pump_out();
-                pending |= !link.write_done();
+                if !link.write_done() {
+                    stalled.push(peer);
+                }
                 progressed |= link.pump_in();
             }
-            if !pending {
+            if stalled.is_empty() {
                 break;
             }
-            if !progressed {
-                std::thread::yield_now();
+            if progressed {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < SPIN_PASSES {
+                    std::thread::yield_now();
+                } else {
+                    // Rotate which stalled link we park on so one slow peer
+                    // cannot starve the others' readiness.
+                    let peer = stalled[rotor % stalled.len()];
+                    rotor += 1;
+                    self.link(to, peer).wait_out();
+                }
             }
         }
         // Step 2: buffer raw bytes until one complete frame per peer is in
@@ -475,8 +617,9 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
         // typed [`TransportError`], not a decode-time surprise.  Decoding of
         // payloads still waits for step 3 so peers can always finish their
         // own step 1.
+        idle = 0;
         loop {
-            let mut missing = false;
+            let mut waiting: Vec<usize> = Vec::new();
             let mut progressed = false;
             for peer in 0..self.shards {
                 if peer == to {
@@ -499,15 +642,28 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
                         link.frame = Some(frame);
                         progressed = true;
                     }
-                    Ok(None) => missing = true,
+                    Ok(None) => waiting.push(peer),
                     Err(e) => return Err(TransportError::Wire(e)),
                 }
             }
-            if !missing {
+            if waiting.is_empty() {
                 break;
             }
-            if !progressed {
-                std::thread::yield_now();
+            if progressed {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < SPIN_PASSES {
+                    std::thread::yield_now();
+                } else {
+                    // Same spin-then-park discipline as step 1, on the read
+                    // side: a bounded blocking read on one frame-less link —
+                    // the kernel wakes us the instant its bytes arrive, and
+                    // the peer we wait on gets the CPU in the meantime.
+                    let peer = waiting[rotor % waiting.len()];
+                    rotor += 1;
+                    self.link(to, peer).wait_in();
+                }
             }
         }
         // Step 3: decode and deliver in sending-shard order (headers were
@@ -520,6 +676,13 @@ impl<M: TransportMessage> Transport<M> for SocketTransport<M> {
             for_each_data_entry::<M>(&frame.payload, &mut *sink)?;
         }
         Ok(())
+    }
+
+    fn syscall_batches(&self, from: usize) -> u64 {
+        (0..self.shards)
+            .filter(|&peer| peer != from)
+            .map(|peer| self.link(from, peer).writes)
+            .sum()
     }
 }
 
@@ -575,6 +738,7 @@ impl TransportBuilder for SocketLoopback {
                     out_pos: 0,
                     inbox: FrameBuffer::new(),
                     frame: None,
+                    writes: 0,
                 }));
                 links[b * shards + a] = Some(Mutex::new(PeerLink {
                     stream: eb,
@@ -583,6 +747,7 @@ impl TransportBuilder for SocketLoopback {
                     out_pos: 0,
                     inbox: FrameBuffer::new(),
                     frame: None,
+                    writes: 0,
                 }));
             }
         }
@@ -728,6 +893,8 @@ where
         }
         link.write_all(&outbuf)?;
         link.flush()?;
+        // All peers' frames left in one coalesced write: one kernel batch.
+        report.syscall_batches += 1;
         report.flush_nanos += t.elapsed().as_nanos() as u64;
 
         // --- Drain the relayed frames of every other shard ---------------
@@ -781,6 +948,7 @@ where
         report.cross,
         report.wire_bytes,
         report.flush_nanos,
+        report.syscall_batches,
         report.timings.send,
         report.timings.deliver,
         report.timings.receive,
@@ -958,15 +1126,16 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
         metrics.cross_shard_messages += get_u64(p, 32)?;
         metrics.wire_bytes_sent += get_u64(p, 40)?;
         metrics.transport_flush_nanos += get_u64(p, 48)?;
+        metrics.syscall_batches += get_u64(p, 56)?;
         metrics
             .shard_phase_nanos
             .push(crate::metrics::PhaseTimings {
-                send: get_u64(p, 56)?,
-                deliver: get_u64(p, 64)?,
-                receive: get_u64(p, 72)?,
+                send: get_u64(p, 64)?,
+                deliver: get_u64(p, 72)?,
+                receive: get_u64(p, 80)?,
             });
-        let count = get_u32(p, 80)? as usize;
-        let mut at = 84usize;
+        let count = get_u32(p, 88)? as usize;
+        let mut at = 92usize;
         for _ in 0..count {
             let node = get_u32(p, at)? as usize;
             let bits = crate::wire::get_u16(p, at + 4)?;

@@ -174,21 +174,31 @@ impl BitWriter {
             width == 64 || value < (1u64 << width),
             "value {value} does not fit in {width} bits"
         );
-        // Byte-at-a-time (this is the per-message transport hot path): per
-        // iteration, pack as many of the remaining bits as the current
-        // partial byte has room for.
+        // This is the per-message transport hot path, so the loop shape is
+        // head → whole bytes → tail instead of a uniform chunk loop: top up
+        // the current partial byte once, then emit full bytes with a plain
+        // shift each (no masking, no re-deriving the bit offset), then park
+        // the leftover bits MSB-aligned in a fresh byte.  Byte-identical to
+        // the uniform loop it replaced (pinned by the codec tests).
         let mut rem = width;
-        while rem > 0 {
-            let bit_off = (self.bit_len % 8) as u32;
-            if bit_off == 0 {
-                self.bytes.push(0);
-            }
+        let bit_off = (self.bit_len % 8) as u32;
+        if bit_off != 0 {
             let space = 8 - bit_off;
             let take = rem.min(space);
             let chunk = ((value >> (rem - take)) & ((1u64 << take) - 1)) as u8;
-            *self.bytes.last_mut().expect("pushed above") |= chunk << (space - take);
+            *self.bytes.last_mut().expect("partial byte exists") |= chunk << (space - take);
             self.bit_len += take as usize;
             rem -= take;
+        }
+        while rem >= 8 {
+            rem -= 8;
+            self.bytes.push((value >> rem) as u8);
+            self.bit_len += 8;
+        }
+        if rem > 0 {
+            let chunk = (value & ((1u64 << rem) - 1)) as u8;
+            self.bytes.push(chunk << (8 - rem));
+            self.bit_len += rem as usize;
         }
     }
 
@@ -250,18 +260,31 @@ impl<'a> BitReader<'a> {
                 got: self.limit - self.pos,
             });
         }
-        // Byte-at-a-time mirror of `BitWriter::write_bits`.
+        // Head → whole bytes → tail, mirroring `BitWriter::write_bits`:
+        // drain the current partial byte once, then fold in full bytes with
+        // a shift-or each, then pick the leftover bits off the top of the
+        // next byte.
         let mut v = 0u64;
         let mut rem = width;
-        while rem > 0 {
-            let bit_off = (self.pos % 8) as u32;
+        let bit_off = (self.pos % 8) as u32;
+        if bit_off != 0 {
             let space = 8 - bit_off;
             let take = rem.min(space);
             let byte = self.bytes[self.pos / 8];
             let chunk = (byte >> (space - take)) & (((1u16 << take) - 1) as u8);
-            v = (v << take) | chunk as u64;
+            v = chunk as u64;
             self.pos += take as usize;
             rem -= take;
+        }
+        while rem >= 8 {
+            v = (v << 8) | self.bytes[self.pos / 8] as u64;
+            self.pos += 8;
+            rem -= 8;
+        }
+        if rem > 0 {
+            let chunk = self.bytes[self.pos / 8] >> (8 - rem);
+            v = (v << rem) | chunk as u64;
+            self.pos += rem as usize;
         }
         Ok(v)
     }

@@ -111,3 +111,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bitset palette (`ColorSet`) against a `HashSet<u64>` reference
+    /// model: random op sequences over palettes up to 4096 colors must agree
+    /// on membership, free-color counts, first-free and nth-free selection
+    /// (the word-scan/popcount paths the randomized baselines now run on).
+    ///
+    /// The vendored proptest stub only generates integer ranges, so the op
+    /// sequence itself is derived from a seeded `StdRng` inside the test.
+    #[test]
+    fn color_set_matches_hashset_model(
+        seed in 0u64..5_000,
+        palette in 1u64..4096,
+    ) {
+        use dcme_baselines::bitset::ColorSet;
+        use dcme_baselines::rand_primitives::round_rng;
+        use rand::RngExt;
+        use std::collections::HashSet;
+
+        let mut rng = round_rng(seed, 0xB175E7, palette);
+        let mut set = ColorSet::with_palette(palette);
+        let mut model: HashSet<u64> = HashSet::new();
+        for step in 0..400u32 {
+            match rng.random_range(0..6u32) {
+                // Insert, occasionally past the palette edge: D1LC blocks
+                // colors from neighbours whose lists are longer than its own,
+                // so growth beyond the presized words must stay correct.
+                0 | 1 => {
+                    let c = rng.random_range(0..palette + palette / 2 + 1);
+                    prop_assert_eq!(set.insert(c), model.insert(c), "insert {} at step {}", c, step);
+                }
+                2 => {
+                    let c = rng.random_range(0..palette + palette / 2 + 1);
+                    prop_assert_eq!(set.contains(c), model.contains(&c), "contains {} at step {}", c, step);
+                }
+                3 => {
+                    let blocked_below = model.iter().filter(|&&c| c < palette).count() as u64;
+                    prop_assert_eq!(set.count_below(palette), blocked_below);
+                    prop_assert_eq!(set.count_free(palette), palette - blocked_below);
+                }
+                4 => {
+                    let first = (0..palette).find(|c| !model.contains(c));
+                    prop_assert_eq!(set.find_first_free(palette), first);
+                }
+                _ => {
+                    let free: Vec<u64> = (0..palette).filter(|c| !model.contains(c)).collect();
+                    // In range, at the edge, and past the end.
+                    for n in [0, free.len() as u64 / 2, free.len().saturating_sub(1) as u64, free.len() as u64] {
+                        prop_assert_eq!(set.nth_free(palette, n), free.get(n as usize).copied());
+                    }
+                }
+            }
+            if step == 200 {
+                set.clear();
+                model.clear();
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixed-seed regression fixtures for the randomized baselines.
+//!
+//! The raw-speed pass (bitset palettes, branchless cores) must be
+//! bit-for-bit invisible: these fixtures pin ultrafast / degree+1
+//! outputs, round counts, message counts and bit totals to the values
+//! recorded on the pre-optimisation `HashSet`-based implementation.
+//! Any drift in the RNG draw sequence or conflict-resolution order
+//! shows up here as a hard failure with the diverging fixture named.
+
+use dcme_baselines::degree_plus_one::{self, DegreePlusOneNode};
+use dcme_baselines::ultrafast::{self, UltrafastNode};
+use dcme_congest::{
+    ExecutionMode, NodeAlgorithm, RunOutcome, Simulator, SimulatorConfig, Topology,
+};
+use dcme_graphs::generators;
+
+/// One recorded run: (fixture name, rounds, messages, total_bits, output digest).
+type Fixture = (&'static str, u64, u64, u64, u64);
+
+/// FNV-1a over the finished color assignment, order-sensitive.
+fn digest(outputs: &[Option<u64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for out in outputs {
+        let c = out.expect("fixture runs must finish within the round cap");
+        h ^= c.wrapping_add(1);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn graphs() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("ring64", generators::ring(64)),
+        ("rr48d4", generators::random_regular(48, 4, 7)),
+        ("star33", generators::star(33)),
+        ("grid6x8", generators::grid(6, 8, true)),
+    ]
+}
+
+fn run<A: NodeAlgorithm<Output = Option<u64>>>(
+    g: &Topology,
+    cap: u64,
+    nodes: Vec<A>,
+) -> RunOutcome<Option<u64>> {
+    let config = SimulatorConfig {
+        max_rounds: cap,
+        mode: ExecutionMode::Sequential,
+    };
+    Simulator::with_config(g, config).run(nodes)
+}
+
+fn record() -> Vec<Fixture> {
+    let mut got = Vec::new();
+    for (gname, g) in graphs() {
+        let n = g.num_nodes();
+        for seed in [11u64, 42] {
+            let uf = run(
+                &g,
+                ultrafast::round_cap(n),
+                (0..n).map(|_| UltrafastNode::new(seed)).collect::<Vec<_>>(),
+            );
+            let name: &'static str =
+                Box::leak(format!("ultrafast/{gname}/seed{seed}").into_boxed_str());
+            got.push((
+                name,
+                uf.metrics.rounds,
+                uf.metrics.messages,
+                uf.metrics.total_bits,
+                digest(&uf.outputs),
+            ));
+            let d1 = run(
+                &g,
+                degree_plus_one::round_cap(n),
+                (0..n)
+                    .map(|_| DegreePlusOneNode::new(seed))
+                    .collect::<Vec<_>>(),
+            );
+            let name: &'static str = Box::leak(format!("d1lc/{gname}/seed{seed}").into_boxed_str());
+            got.push((
+                name,
+                d1.metrics.rounds,
+                d1.metrics.messages,
+                d1.metrics.total_bits,
+                digest(&d1.outputs),
+            ));
+        }
+    }
+    got
+}
+
+/// Recorded on the pre-optimisation implementation (HashSet palettes,
+/// per-port contains loops) — the raw-speed pass must reproduce these
+/// exactly.
+const EXPECTED: &[Fixture] = &[
+    ("ultrafast/ring64/seed11", 6, 354, 1214, 0xe02376e3d9a43bd1),
+    ("d1lc/ring64/seed11", 6, 314, 1686, 0x422014c1045ad1a6),
+    ("ultrafast/ring64/seed42", 7, 344, 1200, 0xd5801b6b205a73e3),
+    ("d1lc/ring64/seed42", 5, 324, 1716, 0xecf2187692cf6838),
+    ("ultrafast/rr48d4/seed11", 8, 540, 2144, 0x010c3579fdff0476),
+    ("d1lc/rr48d4/seed11", 5, 484, 2927, 0x78af8e2f53db69da),
+    ("ultrafast/rr48d4/seed42", 7, 520, 1992, 0x022ccff340bc6c38),
+    ("d1lc/rr48d4/seed42", 6, 457, 2598, 0xf56e99886d25df8a),
+    ("ultrafast/star33/seed11", 4, 134, 647, 0xbd6873d509fb8a07),
+    ("d1lc/star33/seed11", 2, 132, 636, 0x23a85b5bfc8f2a03),
+    ("ultrafast/star33/seed42", 3, 132, 926, 0x25fea8e0720cfc2d),
+    ("d1lc/star33/seed42", 2, 132, 702, 0x6b5e6539c5a50294),
+    ("ultrafast/grid6x8/seed11", 6, 576, 2468, 0xe96bc0a3a2bdfef9),
+    ("d1lc/grid6x8/seed11", 6, 476, 2720, 0x79070a7a4a02bf78),
+    ("ultrafast/grid6x8/seed42", 7, 544, 2308, 0xb0241944076caa9e),
+    ("d1lc/grid6x8/seed42", 5, 480, 2720, 0xcc65cf611da4fb8c),
+];
+
+#[test]
+fn fixed_seed_runs_match_pre_optimisation_recordings() {
+    let got = record();
+    if EXPECTED.len() != got.len() || EXPECTED != got.as_slice() {
+        let mut listing = String::new();
+        for (name, r, m, b, d) in &got {
+            listing.push_str(&format!("    (\"{name}\", {r}, {m}, {b}, {d:#018x}),\n"));
+        }
+        panic!("fixture drift; current values:\n{listing}");
+    }
+}
