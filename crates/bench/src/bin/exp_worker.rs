@@ -1,13 +1,34 @@
-//! The multi-process transport runner: a coordinator that spawns **one
-//! worker process per shard** and drives a full simulation across process
-//! boundaries, every cross-shard message wire-encoded over TCP.
+//! The multi-process transport runner: a coordinator that drives **one
+//! worker process per shard** across process boundaries, every cross-shard
+//! message wire-encoded over TCP.
 //!
-//! Without `--worker`, the binary is the coordinator: it builds the graph,
-//! binds a loopback TCP listener, re-executes itself once per shard in
-//! worker mode, relays the round frames between the workers
-//! ([`dcme_congest::transport::coordinate`]) and prints the merged
-//! [`RunMetrics`].  With `--worker SHARD --connect ADDR` it serves exactly
-//! one shard ([`dcme_congest::transport::serve_shard`]) and exits.
+//! Without `--worker`, the binary is the coordinator: it binds a loopback
+//! TCP listener, spawns (or, with `--hosts`, waits for) one worker per
+//! shard, paces the rounds ([`dcme_congest::transport::coordinate`]) and
+//! prints the merged [`RunMetrics`].  With `--worker SHARD --connect ADDR`
+//! it serves exactly one shard and exits.
+//!
+//! Every worker builds **only its own shard slice**
+//! ([`dcme_congest::ShardSliceTopology`]) by replaying the deterministic
+//! edge stream of the named graph family against the run's
+//! [`dcme_congest::ShardPlan`] — no process ever materializes the full
+//! graph (the coordinator computes just the plan, and only in mesh mode).
+//!
+//! Two data planes:
+//!
+//! * **relay** (default): workers send data frames to the coordinator,
+//!   which forwards them — the original star topology.
+//! * **mesh** (`--mesh`): workers announce their listen addresses, receive
+//!   the plan plus the full peer list from the coordinator, open a direct
+//!   worker↔worker TCP mesh and exchange data frames peer-to-peer; the
+//!   coordinator carries only RoundStart/Vote/Output control frames
+//!   (`relayed_data_bytes` stays 0).
+//!
+//! For multi-host runs, start the coordinator with `--hosts FILE` (one
+//! worker address per line, shard order; the shard-count/host-list match is
+//! validated up front — a mismatch is a typed error, never a hang) and each
+//! worker with `--worker SHARD --connect COORD --mesh --listen ADDR
+//! [--advertise HOST]`.
 //!
 //! Every process derives the same topology and workload deterministically
 //! from the shared arguments, so the run is bit-for-bit comparable to an
@@ -16,16 +37,21 @@
 //! ```sh
 //! # 4 worker processes over a 200k-node random 4-regular circulant:
 //! cargo run -p dcme_bench --release --bin exp_worker
+//! # Same run with the direct worker↔worker data mesh:
+//! cargo run -p dcme_bench --release --bin exp_worker -- --mesh
 //! # CI-sized smoke with verification against the sequential executor:
 //! cargo run -p dcme_bench --release --bin exp_worker -- \
-//!     --n 4000 --shards 2 --graph circulant4 --verify
+//!     --n 4000 --shards 2 --graph circulant4 --mesh --verify
 //! ```
 
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 
 use dcme_bench::workloads;
-use dcme_congest::{transport, JsonLinesWriter, RunMetrics, Simulator, SimulatorConfig};
+use dcme_congest::{
+    transport, JsonLinesWriter, RunMetrics, ShardPlan, ShardSliceTopology, ShardTopologyView,
+    Simulator, SimulatorConfig,
+};
 
 /// Shared run parameters; every worker re-derives the topology from these.
 #[derive(Debug, Clone)]
@@ -36,12 +62,16 @@ struct Params {
     tail: u64,
     seed: u64,
     max_rounds: u64,
+    mesh: bool,
 }
 
 struct Args {
     params: Params,
     worker: Option<usize>,
     connect: Option<String>,
+    listen: String,
+    advertise: Option<String>,
+    hosts: Option<std::path::PathBuf>,
     verify: bool,
     jsonl: Option<std::path::PathBuf>,
 }
@@ -49,8 +79,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: exp_worker [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
-         [--seed SEED] [--max-rounds R] [--verify] [--jsonl PATH]\n\
-         \x20      exp_worker --worker SHARD --connect HOST:PORT <same run parameters>"
+         [--seed SEED] [--max-rounds R] [--mesh] [--hosts FILE] [--listen ADDR] \
+         [--verify] [--jsonl PATH]\n\
+         \x20      exp_worker --worker SHARD --connect HOST:PORT [--mesh] [--listen ADDR] \
+         [--advertise HOST] <same run parameters>"
     );
     std::process::exit(2);
 }
@@ -64,9 +96,13 @@ fn parse_args() -> Args {
             tail: 12,
             seed: 7,
             max_rounds: 1_000_000,
+            mesh: false,
         },
         worker: None,
         connect: None,
+        listen: "127.0.0.1:0".to_string(),
+        advertise: None,
+        hosts: None,
         verify: false,
         jsonl: None,
     };
@@ -89,8 +125,12 @@ fn parse_args() -> Args {
             "--max-rounds" => {
                 args.params.max_rounds = value("--max-rounds").parse().unwrap_or_else(|_| usage())
             }
+            "--mesh" => args.params.mesh = true,
             "--worker" => args.worker = Some(value("--worker").parse().unwrap_or_else(|_| usage())),
             "--connect" => args.connect = Some(value("--connect")),
+            "--listen" => args.listen = value("--listen"),
+            "--advertise" => args.advertise = Some(value("--advertise")),
+            "--hosts" => args.hosts = Some(value("--hosts").into()),
             "--verify" => args.verify = true,
             "--jsonl" => args.jsonl = Some(value("--jsonl").into()),
             _ => usage(),
@@ -101,9 +141,25 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let jsonl = args
+        .jsonl
+        .clone()
+        .or_else(|| std::env::var_os("DCME_METRICS_JSONL").map(Into::into));
     let result = match args.worker {
-        Some(shard) => run_worker(&args.params, shard, args.connect.as_deref()),
-        None => run_coordinator(&args.params, args.verify, args.jsonl.as_deref()),
+        Some(shard) => run_worker(
+            &args.params,
+            shard,
+            args.connect.as_deref(),
+            &args.listen,
+            args.advertise.as_deref(),
+        ),
+        None => run_coordinator(
+            &args.params,
+            args.hosts.as_deref(),
+            &args.listen,
+            args.verify,
+            jsonl.as_deref(),
+        ),
     };
     if let Err(e) = result {
         eprintln!("exp_worker: {e}");
@@ -111,56 +167,149 @@ fn main() {
     }
 }
 
+/// Builds this worker's shard slice by replaying the family's edge stream
+/// against `plan` — the only topology this process ever holds.
+fn build_slice(
+    params: &Params,
+    plan: ShardPlan,
+    shard: usize,
+) -> std::io::Result<ShardSliceTopology> {
+    let stream = workloads::graph_stream(&params.graph, params.n, params.seed)
+        .map_err(std::io::Error::other)?;
+    ShardSliceTopology::build(plan, shard, stream)
+        .map_err(|e| std::io::Error::other(format!("restricted shard build failed: {e}")))
+}
+
 /// Worker mode: connect to the coordinator, serve one shard, exit.
-fn run_worker(params: &Params, shard: usize, connect: Option<&str>) -> std::io::Result<()> {
+fn run_worker(
+    params: &Params,
+    shard: usize,
+    connect: Option<&str>,
+    listen: &str,
+    advertise: Option<&str>,
+) -> std::io::Result<()> {
     let addr = connect.unwrap_or_else(|| {
         eprintln!("--worker requires --connect HOST:PORT");
         usage()
     });
-    let g = workloads::build_graph(&params.graph, params.n, params.shards, params.seed)
-        .map_err(std::io::Error::other)?;
-    let nodes = workloads::gossip_nodes(g.shard_nodes(shard), params.tail);
     let mut link = TcpStream::connect(addr)?;
     link.set_nodelay(true)?;
-    transport::serve_shard(&mut link, &g, shard, nodes)
+    let me = shard as u16;
+
+    if params.mesh {
+        // Mesh handshake: announce the mesh listen address, receive the
+        // coordinator's plan and the full peer list, build only this
+        // shard's slice, then wire up the direct data plane.
+        let listener = TcpListener::bind(listen)?;
+        let bound = listener.local_addr()?;
+        let announced = match advertise {
+            Some(host) => format!("{host}:{}", bound.port()),
+            None => bound.to_string(),
+        };
+        transport::write_peers(&mut link, me, transport::COORDINATOR, &[(me, announced)])?;
+        let plan = transport::read_plan(&mut link, me)?;
+        if plan.num_nodes() != params.n || plan.num_shards() != params.shards {
+            return Err(std::io::Error::other(format!(
+                "coordinator plan ({} nodes, {} shards) disagrees with this worker's parameters ({}, {})",
+                plan.num_nodes(),
+                plan.num_shards(),
+                params.n,
+                params.shards,
+            )));
+        }
+        let peers = transport::read_peers(&mut link, transport::COORDINATOR, me)?;
+        let slice = build_slice(params, plan, shard)?;
+        let mesh = transport::WorkerMesh::connect(me, params.shards, &peers, &listener)?;
+        let nodes = workloads::gossip_nodes(slice.shard_nodes(shard), params.tail);
+        transport::serve_shard_on(
+            &mut link,
+            &slice,
+            shard,
+            nodes,
+            &mut transport::DataPlane::Mesh(mesh),
+        )
+    } else {
+        // Relay mode needs no handshake: the worker derives the plan itself
+        // (the cheap counting pass) and still holds only its own slice.
+        let stream = workloads::graph_stream(&params.graph, params.n, params.seed)
+            .map_err(std::io::Error::other)?;
+        let plan = ShardPlan::from_edge_stream(params.n, params.shards, stream)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let slice = build_slice(params, plan, shard)?;
+        let nodes = workloads::gossip_nodes(slice.shard_nodes(shard), params.tail);
+        transport::serve_shard(&mut link, &slice, shard, nodes)
+    }
 }
 
-/// Coordinator mode: spawn one worker process per shard and run the
-/// simulation across the process boundary.
+/// Reads a hosts file: one worker address per line (shard order), blank
+/// lines and `#` comments ignored — validated against the shard count
+/// before anything listens or dials, so a mismatch is a typed error
+/// instead of a hang.
+fn read_hosts(path: &std::path::Path, shards: usize) -> std::io::Result<Vec<(u16, String)>> {
+    let text = std::fs::read_to_string(path)?;
+    let hosts: Vec<(u16, String)> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .enumerate()
+        .map(|(shard, line)| (shard as u16, line.to_string()))
+        .collect();
+    transport::validate_peer_list(&hosts, shards).map_err(std::io::Error::from)?;
+    Ok(hosts)
+}
+
+/// Coordinator mode: spawn (or await) one worker process per shard and run
+/// the simulation across the process boundary.  Holds the `ShardPlan` at
+/// most — never the graph itself (`--verify` excepted).
 fn run_coordinator(
     params: &Params,
+    hosts: Option<&std::path::Path>,
+    listen: &str,
     verify: bool,
     jsonl: Option<&std::path::Path>,
 ) -> std::io::Result<()> {
-    let g = workloads::build_graph(&params.graph, params.n, params.shards, params.seed)
-        .map_err(std::io::Error::other)?;
-    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let hosts = hosts
+        .map(|path| read_hosts(path, params.shards))
+        .transpose()?;
+    let listener = TcpListener::bind(listen)?;
     let addr = listener.local_addr()?;
 
-    let exe = std::env::current_exe()?;
-    let mut children: Vec<Child> = Vec::with_capacity(params.shards);
-    for shard in 0..params.shards {
-        children.push(
-            Command::new(&exe)
-                .args([
-                    "--worker",
-                    &shard.to_string(),
-                    "--connect",
-                    &addr.to_string(),
-                    "--n",
-                    &params.n.to_string(),
-                    "--shards",
-                    &params.shards.to_string(),
-                    "--graph",
-                    &params.graph,
-                    "--tail",
-                    &params.tail.to_string(),
-                    "--seed",
-                    &params.seed.to_string(),
-                ])
-                .stdin(Stdio::null())
-                .spawn()?,
+    let mut children: Vec<Child> = Vec::new();
+    if let Some(hosts) = &hosts {
+        println!(
+            "awaiting {} externally started workers on {addr} (hosts: {})",
+            params.shards,
+            hosts
+                .iter()
+                .map(|(_, h)| h.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
+    } else {
+        let exe = std::env::current_exe()?;
+        for shard in 0..params.shards {
+            let mut cmd = Command::new(&exe);
+            cmd.args([
+                "--worker",
+                &shard.to_string(),
+                "--connect",
+                &addr.to_string(),
+                "--n",
+                &params.n.to_string(),
+                "--shards",
+                &params.shards.to_string(),
+                "--graph",
+                &params.graph,
+                "--tail",
+                &params.tail.to_string(),
+                "--seed",
+                &params.seed.to_string(),
+            ]);
+            if params.mesh {
+                cmd.arg("--mesh");
+            }
+            children.push(cmd.stdin(Stdio::null()).spawn()?);
+        }
     }
 
     // Links arrive in arbitrary order; `coordinate` sorts them out by the
@@ -191,8 +340,19 @@ fn run_coordinator(
         }
     }
     listener.set_nonblocking(false)?;
+
+    if params.mesh {
+        mesh_handshake(params, &mut links)?;
+    }
+
+    let spec = transport::CoordinateSpec {
+        num_nodes: params.n,
+        shards: params.shards,
+        max_rounds: params.max_rounds,
+        mesh: params.mesh,
+    };
     let t = std::time::Instant::now();
-    let outcome = transport::coordinate::<u64, _>(links, &g, params.max_rounds);
+    let outcome = transport::coordinate::<u64, _>(links, &spec);
     let wall = t.elapsed();
     for mut child in children {
         let status = child.wait()?;
@@ -202,18 +362,29 @@ fn run_coordinator(
             )));
         }
     }
-    let outcome = outcome?;
+    let mut outcome = outcome?;
+    // Fold the coordinator's own high-water mark in (max-merge semantics).
+    outcome.metrics.peak_rss_bytes = outcome
+        .metrics
+        .peak_rss_bytes
+        .max(dcme_congest::process_peak_rss_bytes());
 
     let label = format!(
-        "exp_worker/{}/n{}/shards{}",
-        params.graph, params.n, params.shards
+        "exp_worker/{}/n{}/shards{}/{}",
+        params.graph,
+        params.n,
+        params.shards,
+        if params.mesh { "mesh" } else { "relay" },
     );
     println!(
-        "{label}: rounds={} messages={} cross_shard={} wire_bytes={} flush_ms={:.2} wall_ms={:.0}",
+        "{label}: rounds={} messages={} cross_shard={} wire_bytes={} relayed_bytes={} \
+         peak_rss_bytes={} flush_ms={:.2} wall_ms={:.0}",
         outcome.metrics.rounds,
         outcome.metrics.messages,
         outcome.metrics.cross_shard_messages,
         outcome.metrics.wire_bytes_sent,
+        outcome.metrics.relayed_data_bytes,
+        outcome.metrics.peak_rss_bytes,
         outcome.metrics.transport_flush_nanos as f64 / 1e6,
         wall.as_secs_f64() * 1e3,
     );
@@ -226,6 +397,8 @@ fn run_coordinator(
     }
 
     if verify {
+        let g = workloads::build_graph(&params.graph, params.n, params.shards, params.seed)
+            .map_err(std::io::Error::other)?;
         let reference = Simulator::with_config(
             &g,
             SimulatorConfig {
@@ -241,6 +414,55 @@ fn run_coordinator(
             ));
         }
         println!("verify: OK (bit-for-bit vs sequential executor)");
+    }
+    Ok(())
+}
+
+/// The coordinator half of the mesh handshake: collect every worker's
+/// announced listen address, validate the assembled peer list, then ship
+/// each worker the shard plan and the full list.
+fn mesh_handshake(params: &Params, links: &mut [TcpStream]) -> std::io::Result<()> {
+    let shards = params.shards;
+    let mut announced: Vec<Option<String>> = vec![None; shards];
+    let mut link_shards: Vec<u16> = Vec::with_capacity(links.len());
+    for link in links.iter_mut() {
+        let frame = dcme_congest::wire::read_frame(link)?;
+        let shard = frame.header.from;
+        let entries = transport::parse_peers(&frame).map_err(std::io::Error::from)?;
+        let slot = announced.get_mut(shard as usize).ok_or_else(|| {
+            std::io::Error::other(format!(
+                "mesh announce from shard {shard}, outside the run's {shards} shards"
+            ))
+        })?;
+        match entries.as_slice() {
+            [(s, addr)] if *s == shard && slot.is_none() => *slot = Some(addr.clone()),
+            _ => {
+                return Err(std::io::Error::other(format!(
+                    "malformed mesh announce from shard {shard}"
+                )))
+            }
+        }
+        link_shards.push(shard);
+    }
+    let peer_list: Vec<(u16, String)> = announced
+        .into_iter()
+        .enumerate()
+        .map(|(shard, addr)| {
+            addr.map(|a| (shard as u16, a))
+                .ok_or_else(|| std::io::Error::other(format!("shard {shard} never announced")))
+        })
+        .collect::<Result<_, _>>()?;
+    transport::validate_peer_list(&peer_list, shards).map_err(std::io::Error::from)?;
+
+    // The plan is the only piece of the topology the coordinator computes:
+    // one counting pass over the edge stream, O(n) memory.
+    let stream = workloads::graph_stream(&params.graph, params.n, params.seed)
+        .map_err(std::io::Error::other)?;
+    let plan = ShardPlan::from_edge_stream(params.n, shards, stream)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    for (link, &to) in links.iter_mut().zip(&link_shards) {
+        transport::write_plan(link, &plan, to)?;
+        transport::write_peers(link, transport::COORDINATOR, to, &peer_list)?;
     }
     Ok(())
 }

@@ -16,7 +16,8 @@
 //! ([`experiments::ef_fault_injection`], `exp_faults`, `FAULTS_SMOKE=1`
 //! for CI, `--replay '<plan-spec>'` to reproduce a recorded run), and the
 //! multi-process socket backend its own binary (`exp_worker`, which both
-//! coordinates and serves — see its `--help`).
+//! coordinates and serves, with a coordinator-relayed or direct
+//! worker↔worker mesh data plane — see its `--help`).
 //!
 //! # The JSON-lines schema
 //!
@@ -42,6 +43,7 @@
 //!  "cross_shard_messages":28,"wire_bytes_sent":3584,"transport_flush_nanos":113917,
 //!  "syscall_batches":96,"faults_dropped":0,"faults_duplicated":0,"faults_delayed":0,
 //!  "faults_retransmitted":0,"stale_overwrites":0,
+//!  "peak_rss_bytes":0,"relayed_data_bytes":0,
 //!  "active_per_round":[20000,…],"phase_nanos":{"send":…,"deliver":…,"receive":…},
 //!  "shard_phase_nanos":[{…},…]}
 //! ```
@@ -52,13 +54,25 @@
 //! like the two timing counters — scheduling-dependent, so exempt from the
 //! executor-equivalence guarantee.
 //!
+//! `relayed_data_bytes` is the coordinator-side mirror of
+//! `wire_bytes_sent`: the data-frame bytes the multi-process coordinator
+//! forwarded between workers.  Equal to `wire_bytes_sent` in relay mode,
+//! `0` in mesh mode (workers exchange data peer-to-peer) and for every
+//! in-process backend.  `peak_rss_bytes` is the maximum per-process
+//! high-water RSS (`VmHWM`) across the coordinator and the worker
+//! processes of an `exp_worker` run — a measurement, `0` for in-process
+//! executors (threads share one address space, and a process-wide value
+//! would break byte-identical metric replays) and on platforms without
+//! `/proc/self/status`.
+//!
 //! Fields are only ever **added** (`wire_bytes_sent` and
 //! `transport_flush_nanos` arrived with the transport subsystem,
 //! `syscall_batches` with the overlapped socket drain, the five
 //! `faults_*`/`stale_overwrites` counters with the fault-injection harness
-//! — see [`experiments::ef_fault_injection`] and the `exp_faults` binary),
-//! so rows stay parseable across versions; consumers must ignore unknown
-//! keys.
+//! — see [`experiments::ef_fault_injection`] and the `exp_faults` binary —
+//! and `relayed_data_bytes`/`peak_rss_bytes` with the scale-out data
+//! mesh), so rows stay parseable across versions; consumers must ignore
+//! unknown keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -80,9 +80,26 @@ pub fn build_graph(
     shards: usize,
     seed: u64,
 ) -> Result<ShardedTopology, String> {
+    let stream = graph_stream(name, n, seed)?;
+    ShardedTopology::from_edge_stream(n, shards, stream).map_err(|e| e.to_string())
+}
+
+/// A boxed edge stream: calling it walks the family's edge list, and every
+/// call emits the identical sequence (so multi-pass builds can replay it).
+pub type EdgeStream = Box<dyn FnMut(&mut dyn FnMut(usize, usize))>;
+
+/// The replayable edge stream of a named graph family — the primitive both
+/// [`build_graph`] and the scale-out workers share.
+///
+/// A mesh-mode worker replays this stream against the coordinator's
+/// [`ShardPlan`](dcme_congest::ShardPlan) to build only its own
+/// [`ShardSliceTopology`](dcme_congest::ShardSliceTopology); because every
+/// process derives the identical stream from `(name, n, seed)`, the slices
+/// agree bit-for-bit with a full single-process build.
+pub fn graph_stream(name: &str, n: usize, seed: u64) -> Result<EdgeStream, String> {
     match name {
-        "ring" => streaming::ring(n, shards).map_err(|e| e.to_string()),
-        "circulant4" => streaming::random_regular(n, 4, seed, shards).map_err(|e| e.to_string()),
+        "ring" => Ok(Box::new(streaming::ring_stream(n))),
+        "circulant4" => Ok(Box::new(streaming::random_regular_stream(n, 4, seed))),
         other => Err(format!(
             "unknown graph family {other:?} (expected \"ring\" or \"circulant4\")"
         )),
@@ -107,5 +124,25 @@ mod tests {
         let g = build_graph("circulant4", 40, 3, 7).unwrap();
         assert_eq!(g.num_nodes(), 40);
         assert!(build_graph("torus", 10, 2, 0).is_err());
+        assert!(graph_stream("torus", 10, 0).is_err());
+    }
+
+    /// The worker-side restricted build over a named stream reproduces the
+    /// full build's shard slices exactly — the invariant mesh mode rests on.
+    #[test]
+    fn graph_streams_rebuild_identical_shard_slices() {
+        for name in ["ring", "circulant4"] {
+            let full = build_graph(name, 40, 3, 7).unwrap();
+            let plan = full.plan();
+            for shard in 0..3 {
+                let slice = dcme_congest::ShardSliceTopology::build(
+                    plan.clone(),
+                    shard,
+                    graph_stream(name, 40, 7).unwrap(),
+                )
+                .unwrap();
+                assert_eq!(slice, full.shard_slice(shard));
+            }
+        }
     }
 }

@@ -62,6 +62,74 @@ fn single_shard_multiprocess_run_works() {
 }
 
 #[test]
+fn mesh_mode_agrees_with_sequential_and_relays_nothing() {
+    let out = run_exp_worker(&[
+        "--n",
+        "2000",
+        "--shards",
+        "3",
+        "--graph",
+        "circulant4",
+        "--tail",
+        "7",
+        "--mesh",
+        "--verify",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "exp_worker --mesh failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("verify: OK"),
+        "missing verification line in: {stdout}"
+    );
+    // Data frames travel worker↔worker: the coordinator forwards none.
+    assert!(
+        stdout.contains("relayed_bytes=0 "),
+        "mesh mode relayed data through the coordinator: {stdout}"
+    );
+    assert!(
+        !stdout.contains("wire_bytes=0 "),
+        "no wire bytes crossed the mesh: {stdout}"
+    );
+    // Each worker process reports its own high-water RSS via its Output frame.
+    assert!(
+        !stdout.contains("peak_rss_bytes=0 "),
+        "missing peak RSS in: {stdout}"
+    );
+}
+
+#[test]
+fn host_list_shard_count_mismatch_is_a_clean_error_not_a_hang() {
+    // Two hosts listed, three shards requested: the coordinator must fail
+    // up front with the transport's typed validation error instead of
+    // binding a listener and waiting forever for a third worker.
+    let dir = std::env::temp_dir().join(format!("dcme_hosts_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let hosts = dir.join("hosts.txt");
+    std::fs::write(&hosts, "# shard order\n127.0.0.1:9001\n127.0.0.1:9002\n").unwrap();
+    let out = run_exp_worker(&[
+        "--n",
+        "300",
+        "--shards",
+        "3",
+        "--graph",
+        "ring",
+        "--hosts",
+        hosts.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(
+        stderr.contains("names 2 workers but the run has 3 shards"),
+        "expected the peer-list validation error, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_graph_family_is_a_clean_error() {
     let out = run_exp_worker(&["--n", "100", "--shards", "2", "--graph", "torus"]);
     assert!(!out.status.success());

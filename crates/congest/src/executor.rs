@@ -106,7 +106,7 @@ use std::time::Instant;
 
 use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 use crate::metrics::{PhaseTimings, RunMetrics};
-use crate::sharded::ShardedTopology;
+use crate::sharded::{ShardTopologyView, ShardedTopology};
 use crate::topology::{NodeId, Port, Topology, TopologyView};
 use crate::transport::{InProcess, Transport, TransportBuilder};
 
@@ -887,7 +887,7 @@ pub(crate) fn fill_shard_slot<M>(
 /// staging in the executor, a wire-frame batch in the remote worker).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn route_outbox<M: MessageSize + Clone>(
-    topology: &ShardedTopology,
+    topology: &impl ShardTopologyView,
     shard: usize,
     v: NodeId,
     outbox: Outbox<M>,

@@ -80,9 +80,12 @@ pub use faults::{
     run_faulty, FaultEvent, FaultKind, FaultPlan, FaultyRun, FaultyTransport, InvariantViolation,
 };
 pub use mc::{CheckableAlgorithm, Counterexample, McConfig, McFault, McVerdict, Violation};
-pub use metrics::{JsonLinesWriter, PhaseTimings, RunMetrics};
-pub use sharded::ShardedTopology;
+pub use metrics::{process_peak_rss_bytes, JsonLinesWriter, PhaseTimings, RunMetrics};
+pub use sharded::{ShardPlan, ShardSliceTopology, ShardTopologyView, ShardedTopology};
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
 pub use topology::{BallScratch, NodeId, Port, Topology, TopologyError, TopologyView};
-pub use transport::{InProcess, SocketLoopback, Transport, TransportBuilder, TransportMessage};
+pub use transport::{
+    coordinate, serve_shard, serve_shard_on, CoordinateSpec, DataPlane, InProcess, SocketLoopback,
+    Transport, TransportBuilder, TransportError, TransportMessage, WorkerMesh,
+};
 pub use wire::{BitReader, BitWriter, WireError, WireMessage};

@@ -111,6 +111,23 @@ pub struct RunMetrics {
     /// duplicate message arrived on a port that already held this round's
     /// message (newest-wins semantics).  Zero in strict lock-step runs.
     pub stale_overwrites: u64,
+    /// Peak resident-set size of the run, in bytes: the largest `VmHWM` any
+    /// participating worker process reported (see
+    /// [`process_peak_rss_bytes`]).  A high-water mark, so [`RunMetrics::merge`]
+    /// takes the **max**, not the sum.  Filled by the remote worker
+    /// protocol (each worker's Output frame carries its own high-water
+    /// mark) and the experiment harness; the in-process executors leave it
+    /// 0, since threads sharing one address space have no per-shard RSS and
+    /// the process-wide value would break byte-identical metric replays.
+    /// Zero also on platforms without `/proc/self/status`.  A measurement,
+    /// exempt from the executor-equivalence guarantee.
+    pub peak_rss_bytes: u64,
+    /// Bytes of data frames the remote coordinator relayed between workers
+    /// (length prefixes and frame headers included).  Nonzero only for the
+    /// star-relay data plane of [`coordinate`](crate::transport::coordinate);
+    /// the direct worker↔worker mesh keeps this at 0 — the observable for
+    /// the control-vs-data plane split.
+    pub relayed_data_bytes: u64,
 }
 
 impl RunMetrics {
@@ -142,6 +159,8 @@ impl RunMetrics {
         self.faults_delayed += other.faults_delayed;
         self.faults_retransmitted += other.faults_retransmitted;
         self.stale_overwrites += other.stale_overwrites;
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
+        self.relayed_data_bytes += other.relayed_data_bytes;
         if self.shard_phase_nanos.len() < other.shard_phase_nanos.len() {
             self.shard_phase_nanos
                 .resize(other.shard_phase_nanos.len(), PhaseTimings::default());
@@ -208,6 +227,11 @@ impl RunMetrics {
             self.faults_retransmitted
         ));
         out.push_str(&format!(",\"stale_overwrites\":{}", self.stale_overwrites));
+        out.push_str(&format!(",\"peak_rss_bytes\":{}", self.peak_rss_bytes));
+        out.push_str(&format!(
+            ",\"relayed_data_bytes\":{}",
+            self.relayed_data_bytes
+        ));
         out.push_str(",\"active_per_round\":[");
         for (i, a) in self.active_per_round.iter().enumerate() {
             if i > 0 {
@@ -237,6 +261,34 @@ impl PhaseTimings {
             self.send, self.deliver, self.receive
         ));
     }
+}
+
+/// Peak resident-set size (high-water mark) of the **current process**, in
+/// bytes.
+///
+/// Reads the `VmHWM` line of `/proc/self/status` (reported in kB).  Returns
+/// 0 when the file or the line is unavailable (non-Linux platforms), so
+/// callers can store the value unconditionally — a zero simply means "not
+/// measured", never "no memory used".  This feeds
+/// [`RunMetrics::peak_rss_bytes`], the observable behind the scale-out
+/// claim that a mesh worker never materializes shards it does not own.
+pub fn process_peak_rss_bytes() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb.saturating_mul(1024);
+        }
+    }
+    0
 }
 
 /// Appends `s` to `out` with JSON string escaping applied (quotes,
@@ -396,6 +448,8 @@ mod tests {
             faults_delayed: 19 * scale,
             faults_retransmitted: 23 * scale,
             stale_overwrites: 29 * scale,
+            peak_rss_bytes: 31 * scale,
+            relayed_data_bytes: 37 * scale,
         };
         let mut a = mk(1);
         a.merge(&mk(10));
@@ -424,8 +478,10 @@ mod tests {
             faults_delayed: 209,
             faults_retransmitted: 253,
             stale_overwrites: 319,
+            relayed_data_bytes: 407,
             // Maxed.
             max_message_bits: 200,
+            peak_rss_bytes: 310,
             // Summed per shard index.
             shard_phase_nanos: vec![PhaseTimings {
                 send: 11,
@@ -469,11 +525,21 @@ mod tests {
         assert!(line.contains("\"faults_delayed\":0"));
         assert!(line.contains("\"faults_retransmitted\":0"));
         assert!(line.contains("\"stale_overwrites\":0"));
+        assert!(line.contains("\"peak_rss_bytes\":0"));
+        assert!(line.contains("\"relayed_data_bytes\":0"));
         assert!(line.contains("\"shard_phase_nanos\":[{\"send\":4,\"deliver\":5,\"receive\":6}]"));
         // Balanced braces/brackets — a cheap well-formedness check given the
         // workspace has no JSON parser to round-trip with.
         assert_eq!(line.matches('{').count(), line.matches('}').count(),);
         assert_eq!(line.matches('[').count(), line.matches(']').count());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_probe_reports_a_plausible_high_water_mark() {
+        let rss = process_peak_rss_bytes();
+        assert!(rss > 0, "VmHWM should be readable on Linux");
+        assert_eq!(rss % 1024, 0, "VmHWM is reported in whole kilobytes");
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub enum TopologyError {
         /// the largest representable value
         limit: usize,
     },
+    /// An edge stream replay disagrees with the pass-1
+    /// [`ShardPlan`](crate::ShardPlan) it is being combined with: some node
+    /// saw more or fewer edges than the plan's degree header recorded.
+    PlanMismatch {
+        /// the first node whose streamed degree differs from the plan
+        node: NodeId,
+    },
 }
 
 impl core::fmt::Display for TopologyError {
@@ -61,6 +68,13 @@ impl core::fmt::Display for TopologyError {
                     f,
                     "graph too large for the compact sharded representation \
                      ({value} exceeds the u32 index limit {limit})"
+                )
+            }
+            TopologyError::PlanMismatch { node } => {
+                write!(
+                    f,
+                    "edge stream does not replay the shard plan: degree of \
+                     node {node} disagrees with the plan's degree header"
                 )
             }
         }

@@ -15,11 +15,18 @@
 //!   round-sequenced frames of bit-exact payloads.  Same process, real
 //!   kernel wire — this is what makes the CONGEST bandwidth accounting
 //!   verifiable against actual encoded bytes.
-//! * The **remote protocol** ([`serve_shard`] / [`coordinate`]) — one
+//! * The **remote protocol** ([`serve_shard_on`] / [`coordinate`]) — one
 //!   process per shard plus a coordinator, exchanging the same frames over
 //!   blocking links (TCP in the `exp_worker` binary).  The coordinator
-//!   relays data frames between workers, carries the halting votes
-//!   ([`FrameKind::Vote`]) and merges the per-shard counters.
+//!   carries the halting votes ([`FrameKind::Vote`]) and merges the
+//!   per-shard counters; data frames travel over a [`DataPlane`]: either
+//!   relayed through the coordinator, or peer-to-peer over a direct
+//!   [`WorkerMesh`] so the coordinator handles only control traffic.  In
+//!   mesh mode the coordinator ships each worker a [`ShardPlan`]
+//!   ([`write_plan`]) and the peer address list ([`write_peers`]), and each
+//!   worker builds only its own
+//!   [`ShardSliceTopology`](crate::sharded::ShardSliceTopology) — no
+//!   process ever materialises the full graph.
 //!
 //! # Round framing
 //!
@@ -62,12 +69,12 @@ use std::time::Instant;
 use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext};
 use crate::executor::{route_outbox, ShardReport};
 use crate::metrics::RunMetrics;
-use crate::sharded::ShardedTopology;
+use crate::sharded::{ShardPlan, ShardTopologyView, ShardedTopology};
 use crate::simulator::RunOutcome;
-use crate::topology::TopologyView;
 use crate::wire::{
-    for_each_data_entry, get_u32, get_u64, put_u32, put_u64, read_frame, write_frame,
-    DataFrameBuilder, Frame, FrameBuffer, FrameHeader, FrameKind, WireMessage,
+    for_each_data_entry, get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, read_frame,
+    write_frame, DataFrameBuilder, Frame, FrameBuffer, FrameHeader, FrameKind, WireError,
+    WireMessage, FRAME_HEADER_BYTES,
 };
 
 /// The pseudo shard index of the coordinator in remote frames.
@@ -107,7 +114,8 @@ fn check_wire_shard_count(shards: usize) -> std::io::Result<()> {
 pub enum TransportError {
     /// A frame failed wire-level validation: malformed framing, or a header
     /// stamped with the wrong round or shard pair
-    /// ([`WireError::RoundMismatch`](crate::wire::WireError::RoundMismatch) is the late/duplicate-frame case).
+    /// ([`crate::wire::WireError::RoundMismatch`] is the late/duplicate-frame
+    /// case).
     Wire(crate::wire::WireError),
     /// The peer sent a well-formed frame of the wrong kind for this phase
     /// of the protocol.
@@ -135,6 +143,12 @@ impl std::error::Error for TransportError {
 impl From<crate::wire::WireError> for TransportError {
     fn from(e: crate::wire::WireError) -> Self {
         TransportError::Wire(e)
+    }
+}
+
+impl From<TransportError> for std::io::Error {
+    fn from(e: TransportError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
     }
 }
 
@@ -410,6 +424,18 @@ struct PeerLink {
 }
 
 impl PeerLink {
+    fn new(stream: LoopbackStream) -> Self {
+        Self {
+            stream,
+            batch: DataFrameBuilder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            inbox: FrameBuffer::new(),
+            frame: None,
+            writes: 0,
+        }
+    }
+
     /// Nonblocking write pass over the pending bytes; true if it progressed.
     fn pump_out(&mut self) -> bool {
         let mut progressed = false;
@@ -731,24 +757,8 @@ impl TransportBuilder for SocketLoopback {
                 };
                 ea.set_nonblocking()?;
                 eb.set_nonblocking()?;
-                links[a * shards + b] = Some(Mutex::new(PeerLink {
-                    stream: ea,
-                    batch: DataFrameBuilder::new(),
-                    out: Vec::new(),
-                    out_pos: 0,
-                    inbox: FrameBuffer::new(),
-                    frame: None,
-                    writes: 0,
-                }));
-                links[b * shards + a] = Some(Mutex::new(PeerLink {
-                    stream: eb,
-                    batch: DataFrameBuilder::new(),
-                    out: Vec::new(),
-                    out_pos: 0,
-                    inbox: FrameBuffer::new(),
-                    frame: None,
-                    writes: 0,
-                }));
+                links[a * shards + b] = Some(Mutex::new(PeerLink::new(ea)));
+                links[b * shards + a] = Some(Mutex::new(PeerLink::new(eb)));
             }
         }
         Ok(SocketTransport {
@@ -760,26 +770,448 @@ impl TransportBuilder for SocketLoopback {
 }
 
 // ---------------------------------------------------------------------------
+// The scale-out handshake: shard plans and peer lists on the wire
+// ---------------------------------------------------------------------------
+
+/// Chunk size for [`Topology`](FrameKind::Topology) frames carrying a
+/// serialized [`ShardPlan`].  The plan's degree header is `4n` bytes, which
+/// at `n = 10^8` exceeds [`MAX_FRAME_BODY`](crate::wire::MAX_FRAME_BODY),
+/// so plans always ship as a numbered chunk sequence.
+const PLAN_CHUNK_BYTES: usize = 32 << 20;
+
+/// Ships a [`ShardPlan`] to one worker as a sequence of
+/// [`Topology`](FrameKind::Topology) frames (payload:
+/// `[seq u32][total u32][chunk bytes]`), so a worker can build its
+/// [`ShardSliceTopology`](crate::sharded::ShardSliceTopology) without the
+/// coordinator ever shipping (or holding) the full graph.
+///
+/// # Errors
+///
+/// Propagates link I/O failures.
+pub fn write_plan<L: Write>(link: &mut L, plan: &ShardPlan, to: u16) -> std::io::Result<()> {
+    let bytes = plan.to_bytes();
+    let total = bytes.len().div_ceil(PLAN_CHUNK_BYTES) as u32;
+    for (seq, chunk) in bytes.chunks(PLAN_CHUNK_BYTES).enumerate() {
+        let mut payload = Vec::with_capacity(8 + chunk.len());
+        put_u32(&mut payload, seq as u32);
+        put_u32(&mut payload, total);
+        payload.extend_from_slice(chunk);
+        write_frame(
+            link,
+            FrameHeader {
+                kind: FrameKind::Topology,
+                round: 0,
+                from: COORDINATOR,
+                to,
+            },
+            &payload,
+        )?;
+    }
+    link.flush()
+}
+
+/// Receives and validates the chunked [`ShardPlan`] of [`write_plan`].
+///
+/// # Errors
+///
+/// Propagates link I/O failures; out-of-sequence chunks and plans that fail
+/// [`ShardPlan::from_bytes`] validation surface as `io::Error`.
+pub fn read_plan<L: Read>(link: &mut L, me: u16) -> std::io::Result<ShardPlan> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut next: u32 = 0;
+    loop {
+        let frame = read_frame(link)?;
+        if frame.header.kind != FrameKind::Topology {
+            return Err(protocol_error("expected a Topology frame"));
+        }
+        frame.header.expect(0, COORDINATOR, me)?;
+        let seq = get_u32(&frame.payload, 0)?;
+        let total = get_u32(&frame.payload, 4)?;
+        if total == 0 || seq != next || seq >= total {
+            return Err(protocol_error("Topology chunks out of sequence"));
+        }
+        bytes.extend_from_slice(&frame.payload[8..]);
+        next += 1;
+        if next == total {
+            break;
+        }
+    }
+    ShardPlan::from_bytes(&bytes).map_err(std::io::Error::from)
+}
+
+/// Validates a mesh peer list against the run's shard count: exactly one
+/// address per shard, every shard present exactly once.
+///
+/// This is the shard-count/host-list mismatch gate — a short, long,
+/// duplicated or out-of-range list is a typed [`TransportError`] *before*
+/// any worker starts dialing, never a hang.
+///
+/// # Errors
+///
+/// [`TransportError::Protocol`] describing the mismatch.
+pub fn validate_peer_list(peers: &[(u16, String)], shards: usize) -> Result<(), TransportError> {
+    if peers.len() != shards {
+        return Err(TransportError::Protocol(format!(
+            "peer list names {} workers but the run has {shards} shards",
+            peers.len()
+        )));
+    }
+    let mut seen = vec![false; shards];
+    for &(shard, _) in peers {
+        let slot = seen.get_mut(shard as usize).ok_or_else(|| {
+            TransportError::Protocol(format!(
+                "peer list names shard {shard}, outside the run's {shards} shards"
+            ))
+        })?;
+        if *slot {
+            return Err(TransportError::Protocol(format!(
+                "peer list names shard {shard} twice"
+            )));
+        }
+        *slot = true;
+    }
+    Ok(())
+}
+
+/// Encodes a peer list as a [`Peers`](FrameKind::Peers) frame payload:
+/// `[count u32]` then per peer `[shard u16][len u16][utf8 address]`.
+fn peers_payload(peers: &[(u16, String)]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, peers.len() as u32);
+    for (shard, addr) in peers {
+        put_u16(&mut payload, *shard);
+        put_u16(
+            &mut payload,
+            u16::try_from(addr.len()).expect("peer address exceeds u16 bytes"),
+        );
+        payload.extend_from_slice(addr.as_bytes());
+    }
+    payload
+}
+
+/// Writes a peer list as one [`Peers`](FrameKind::Peers) frame.
+///
+/// Workers announce their own listen address to the coordinator as a
+/// single-entry list; the coordinator broadcasts the assembled full list
+/// back so every worker can dial its mesh.
+///
+/// # Errors
+///
+/// Propagates link I/O failures.
+pub fn write_peers<L: Write>(
+    link: &mut L,
+    from: u16,
+    to: u16,
+    peers: &[(u16, String)],
+) -> std::io::Result<()> {
+    write_frame(
+        link,
+        FrameHeader {
+            kind: FrameKind::Peers,
+            round: 0,
+            from,
+            to,
+        },
+        &peers_payload(peers),
+    )?;
+    link.flush()
+}
+
+/// Decodes the peer list of a [`Peers`](FrameKind::Peers) frame.
+///
+/// # Errors
+///
+/// [`TransportError`] on a wrong frame kind, truncated or trailing payload
+/// bytes, or a non-UTF-8 address.
+pub fn parse_peers(frame: &Frame) -> Result<Vec<(u16, String)>, TransportError> {
+    if frame.header.kind != FrameKind::Peers {
+        return Err(TransportError::Protocol(format!(
+            "expected a Peers frame, got a {:?} frame",
+            frame.header.kind
+        )));
+    }
+    let p = &frame.payload;
+    let count = get_u32(p, 0)? as usize;
+    let mut peers = Vec::with_capacity(count.min(1024));
+    let mut at = 4usize;
+    for _ in 0..count {
+        let shard = get_u16(p, at)?;
+        let len = get_u16(p, at + 2)? as usize;
+        let body = p.get(at + 4..at + 4 + len).ok_or(WireError::Truncated {
+            needed: at + 4 + len,
+            got: p.len(),
+        })?;
+        let addr = std::str::from_utf8(body).map_err(|_| {
+            TransportError::Protocol(format!("peer address of shard {shard} is not valid UTF-8"))
+        })?;
+        peers.push((shard, addr.to_string()));
+        at += 4 + len;
+    }
+    if at != p.len() {
+        return Err(TransportError::Wire(WireError::TrailingBytes(p.len() - at)));
+    }
+    Ok(peers)
+}
+
+/// Reads one frame off the link and decodes it as the peer list of
+/// [`write_peers`], checking the expected sender/receiver pair.
+///
+/// # Errors
+///
+/// Propagates link I/O failures; decode failures surface as `io::Error`.
+pub fn read_peers<L: Read>(
+    link: &mut L,
+    from: u16,
+    to: u16,
+) -> std::io::Result<Vec<(u16, String)>> {
+    let frame = read_frame(link)?;
+    let peers = parse_peers(&frame).map_err(std::io::Error::from)?;
+    frame.header.expect(0, from, to)?;
+    Ok(peers)
+}
+
+// ---------------------------------------------------------------------------
+// The direct worker↔worker data mesh
+// ---------------------------------------------------------------------------
+
+/// A full mesh of direct worker↔worker connections carrying the data frames
+/// of a remote run, so the coordinator only paces rounds.
+///
+/// Connection setup is deterministic: every worker *dials* the listed
+/// addresses of all lower shard indices (announcing its own shard index as
+/// a 2-byte handshake) and *accepts* one connection from each higher index,
+/// validating the announced indices.  Per round the mesh seals one data
+/// frame per peer — empty if nothing crossed that pair, so receivers always
+/// know how many frames to expect — and drains with the same three-step
+/// spin-then-park discipline as [`SocketLoopback`]'s in-process transport
+/// (see the [module docs](self)), which is deadlock-free once every worker's
+/// sealed bytes are handed to the kernel.
+#[derive(Debug)]
+pub struct WorkerMesh {
+    me: u16,
+    /// Ascending peer shard indices, parallel to `links`.
+    peers: Vec<u16>,
+    links: Vec<PeerLink>,
+}
+
+impl WorkerMesh {
+    /// Connects the full mesh for shard `me` of a `shards`-shard run.
+    ///
+    /// `peers` maps every shard (including `me`) to a dialable address;
+    /// `listener` is the socket `me` published in that list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid peer lists ([`validate_peer_list`]) and handshakes
+    /// announcing unexpected or duplicate shard indices, and propagates
+    /// socket failures.
+    pub fn connect(
+        me: u16,
+        shards: usize,
+        peers: &[(u16, String)],
+        listener: &std::net::TcpListener,
+    ) -> std::io::Result<Self> {
+        check_wire_shard_count(shards)?;
+        validate_peer_list(peers, shards).map_err(std::io::Error::from)?;
+        let mut links: Vec<(u16, PeerLink)> = Vec::with_capacity(shards.saturating_sub(1));
+        for &(shard, ref addr) in peers {
+            if shard >= me {
+                continue;
+            }
+            let mut stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&me.to_le_bytes())?;
+            stream.flush()?;
+            links.push((shard, PeerLink::new(LoopbackStream::Tcp(stream))));
+        }
+        let higher = peers.iter().filter(|&&(shard, _)| shard > me).count();
+        for _ in 0..higher {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut id = [0u8; 2];
+            stream.read_exact(&mut id)?;
+            let shard = u16::from_le_bytes(id);
+            if shard <= me || (shard as usize) >= shards {
+                return Err(protocol_error(&format!(
+                    "mesh handshake announced unexpected shard {shard}"
+                )));
+            }
+            if links.iter().any(|&(s, _)| s == shard) {
+                return Err(protocol_error(&format!(
+                    "two mesh connections announced shard {shard}"
+                )));
+            }
+            links.push((shard, PeerLink::new(LoopbackStream::Tcp(stream))));
+        }
+        links.sort_by_key(|&(shard, _)| shard);
+        for (_, link) in &links {
+            link.stream.set_nonblocking()?;
+        }
+        Ok(Self {
+            me,
+            peers: links.iter().map(|&(shard, _)| shard).collect(),
+            links: links.into_iter().map(|(_, link)| link).collect(),
+        })
+    }
+
+    /// Stages one cross-shard message into the target peer's pending frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a peer of this mesh (a routing bug).
+    pub(crate) fn stage<M: WireMessage>(&mut self, target: u16, slot: u32, sender: u32, msg: &M) {
+        let i = self
+            .peers
+            .binary_search(&target)
+            .expect("staged a message for a shard with no mesh link");
+        self.links[i].batch.push(slot, sender, msg);
+    }
+
+    /// Seals this round's frame for every peer (empty frames included) and
+    /// starts writing them out; returns the sealed byte count.
+    pub(crate) fn flush(&mut self, round: u64) -> u64 {
+        let mut bytes = 0;
+        for (i, link) in self.links.iter_mut().enumerate() {
+            debug_assert!(link.write_done(), "previous round's frame still pending");
+            let mut out = std::mem::take(&mut link.out);
+            bytes += link.batch.seal(round, self.me, self.peers[i], &mut out);
+            link.out = out;
+            link.pump_out();
+        }
+        bytes
+    }
+
+    /// Drains the round: finishes this worker's writes (reading
+    /// opportunistically), buffers one header-validated frame per peer,
+    /// then decodes and delivers in ascending peer order — the same
+    /// three-step discipline as the in-process socket drain.
+    ///
+    /// # Errors
+    ///
+    /// A late, duplicate or out-of-round frame, or a non-data frame on a
+    /// mesh connection, is a typed [`TransportError`].
+    pub(crate) fn exchange<M: WireMessage>(
+        &mut self,
+        round: u64,
+        sink: &mut dyn FnMut(u32, u32, M),
+    ) -> Result<(), TransportError> {
+        let mut rotor: usize = 0;
+
+        // Step 1: finish writing, reading opportunistically.
+        let mut idle: u32 = 0;
+        loop {
+            let mut stalled: Vec<usize> = Vec::new();
+            let mut progressed = false;
+            for (i, link) in self.links.iter_mut().enumerate() {
+                progressed |= link.pump_out();
+                if !link.write_done() {
+                    stalled.push(i);
+                }
+                progressed |= link.pump_in();
+            }
+            if stalled.is_empty() {
+                break;
+            }
+            if progressed {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < SPIN_PASSES {
+                    std::thread::yield_now();
+                } else {
+                    let pick = stalled[rotor % stalled.len()];
+                    rotor += 1;
+                    self.links[pick].wait_out();
+                }
+            }
+        }
+
+        // Step 2: buffer one complete frame per peer, validating headers
+        // the moment each frame completes.
+        let mut idle: u32 = 0;
+        loop {
+            let mut waiting: Vec<usize> = Vec::new();
+            let mut progressed = false;
+            for (i, link) in self.links.iter_mut().enumerate() {
+                if link.frame.is_some() {
+                    continue;
+                }
+                progressed |= link.pump_in();
+                match link.inbox.next_frame() {
+                    Ok(Some(frame)) => {
+                        if frame.header.kind != FrameKind::Data {
+                            return Err(TransportError::Protocol(format!(
+                                "expected a data frame from shard {}, got a {:?} frame",
+                                self.peers[i], frame.header.kind
+                            )));
+                        }
+                        frame.header.expect(round, self.peers[i], self.me)?;
+                        link.frame = Some(frame);
+                        progressed = true;
+                    }
+                    Ok(None) => waiting.push(i),
+                    Err(e) => return Err(TransportError::Wire(e)),
+                }
+            }
+            if waiting.is_empty() {
+                break;
+            }
+            if progressed {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < SPIN_PASSES {
+                    std::thread::yield_now();
+                } else {
+                    let pick = waiting[rotor % waiting.len()];
+                    rotor += 1;
+                    self.links[pick].wait_in();
+                }
+            }
+        }
+
+        // Step 3: decode and deliver, in ascending peer order.
+        for link in self.links.iter_mut() {
+            let frame = link.frame.take().expect("step 2 buffered a frame per peer");
+            for_each_data_entry::<M>(&frame.payload, &mut *sink)?;
+        }
+        Ok(())
+    }
+
+    /// Total kernel write calls issued across all mesh links.
+    pub(crate) fn syscall_batches(&self) -> u64 {
+        self.links.iter().map(|link| link.writes).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The remote (multi-process) protocol
 // ---------------------------------------------------------------------------
 
+/// The data-frame path of a remote worker: relayed through the coordinator
+/// (the default star topology) or exchanged peer-to-peer over a
+/// [`WorkerMesh`].
+///
+/// Control frames ([`RoundStart`](FrameKind::RoundStart),
+/// [`Vote`](FrameKind::Vote), [`Output`](FrameKind::Output)) always travel
+/// over the coordinator link; only the per-round
+/// [`Data`](FrameKind::Data) frames move.
+#[derive(Debug)]
+pub enum DataPlane {
+    /// Every data frame goes to the coordinator, which relays it to the
+    /// destination shard.  Two network hops per frame, no worker↔worker
+    /// connections.
+    Relay,
+    /// Data frames travel directly between the workers over a full mesh of
+    /// connections.  One hop per frame; the coordinator relays nothing
+    /// (its [`RunMetrics::relayed_data_bytes`] stays zero).
+    Mesh(WorkerMesh),
+}
+
 /// Serves one shard of a simulation over a blocking link to the coordinator
 /// — the worker-process half of the multi-process backend (the `exp_worker`
-/// binary is a thin wrapper around this).
-///
-/// `nodes` holds exactly the state machines of `topology.shard_nodes(shard)`
-/// in node order; they are initialised here with their global contexts, so
-/// every process derives identical state from identical inputs.
-///
-/// Per round the worker: receives the coordinator's
-/// [`RoundStart`](FrameKind::RoundStart); runs the send phase, filling its
-/// own inbox slots directly for intra-shard traffic and wire-encoding
-/// cross-shard messages into one data frame per destination shard; flushes
-/// those frames to the coordinator (which relays them); reads the relayed
-/// frames of the other shards and fills its slots; runs the receive phase;
-/// and reports its halting vote ([`Vote`](FrameKind::Vote), the shard's
-/// active count).  On stop it sends one [`Output`](FrameKind::Output) frame
-/// carrying its counters and its nodes' wire-encoded outputs.
+/// binary is a thin wrapper around this).  Relay-mode shorthand for
+/// [`serve_shard_on`] with [`DataPlane::Relay`].
 ///
 /// # Errors
 ///
@@ -789,11 +1221,54 @@ impl TransportBuilder for SocketLoopback {
 ///
 /// Panics on CONGEST contract violations by the algorithm (double-send on a
 /// port), exactly like the in-process executors.
-pub fn serve_shard<A: NodeAlgorithm, L: Read + Write>(
+pub fn serve_shard<A: NodeAlgorithm, L: Read + Write, T: ShardTopologyView>(
     link: &mut L,
-    topology: &ShardedTopology,
+    topology: &T,
+    shard: usize,
+    nodes: Vec<A>,
+) -> std::io::Result<()>
+where
+    A::Output: WireMessage,
+{
+    serve_shard_on(link, topology, shard, nodes, &mut DataPlane::Relay)
+}
+
+/// Serves one shard of a simulation over a blocking link to the coordinator,
+/// moving data frames over the given [`DataPlane`].
+///
+/// `topology` only needs the [`ShardTopologyView`] surface, so a worker can
+/// serve from a [`ShardSliceTopology`](crate::sharded::ShardSliceTopology)
+/// it built for its own shard without ever materialising the full graph.
+///
+/// `nodes` holds exactly the state machines of `topology.shard_nodes(shard)`
+/// in node order; they are initialised here with their global contexts, so
+/// every process derives identical state from identical inputs.
+///
+/// Per round the worker: receives the coordinator's
+/// [`RoundStart`](FrameKind::RoundStart); runs the send phase, filling its
+/// own inbox slots directly for intra-shard traffic and wire-encoding
+/// cross-shard messages into one data frame per destination shard; flushes
+/// those frames over the data plane (coordinator relay or direct mesh);
+/// reads the other shards' frames and fills its slots; runs the receive
+/// phase; and reports its halting vote ([`Vote`](FrameKind::Vote), the
+/// shard's active count).  On stop it sends one [`Output`](FrameKind::Output)
+/// frame carrying its counters (including its peak RSS) and its nodes'
+/// wire-encoded outputs.
+///
+/// # Errors
+///
+/// Propagates link I/O failures and protocol violations as `io::Error`.
+///
+/// # Panics
+///
+/// Panics on CONGEST contract violations by the algorithm (double-send on a
+/// port), exactly like the in-process executors.
+pub fn serve_shard_on<A: NodeAlgorithm, L: Read + Write, T: ShardTopologyView>(
+    link: &mut L,
+    topology: &T,
     shard: usize,
     mut nodes: Vec<A>,
+    data: &mut DataPlane,
 ) -> std::io::Result<()>
 where
     A::Output: WireMessage,
@@ -875,48 +1350,72 @@ where
                 &mut report,
                 &mut |slot, sender, msg| {
                     let target = topology.shard_of_slot(slot as usize);
-                    batches[target].push(slot, sender, &msg);
+                    match data {
+                        DataPlane::Relay => batches[target].push(slot, sender, &msg),
+                        DataPlane::Mesh(mesh) => mesh.stage(target as u16, slot, sender, &msg),
+                    }
                 },
             );
         }
         report.timings.send += t.elapsed().as_nanos() as u64;
 
-        // --- Flush: one data frame per destination shard, via the
-        // coordinator relay --------------------------------------------
+        // --- Flush: one data frame per destination shard -----------------
         let t = Instant::now();
-        outbuf.clear();
-        for (to, batch) in batches.iter_mut().enumerate() {
-            if to == shard {
-                continue;
+        match data {
+            DataPlane::Relay => {
+                outbuf.clear();
+                for (to, batch) in batches.iter_mut().enumerate() {
+                    if to == shard {
+                        continue;
+                    }
+                    report.wire_bytes += batch.seal(round, me, to as u16, &mut outbuf);
+                }
+                link.write_all(&outbuf)?;
+                link.flush()?;
+                // All peers' frames left in one coalesced write: one batch.
+                report.syscall_batches += 1;
             }
-            report.wire_bytes += batch.seal(round, me, to as u16, &mut outbuf);
+            DataPlane::Mesh(mesh) => {
+                report.wire_bytes += mesh.flush(round);
+            }
         }
-        link.write_all(&outbuf)?;
-        link.flush()?;
-        // All peers' frames left in one coalesced write: one kernel batch.
-        report.syscall_batches += 1;
         report.flush_nanos += t.elapsed().as_nanos() as u64;
 
-        // --- Drain the relayed frames of every other shard ---------------
+        // --- Drain every other shard's frames ----------------------------
         let t = Instant::now();
-        for from in 0..shards {
-            if from == shard {
-                continue;
+        match data {
+            DataPlane::Relay => {
+                for from in 0..shards {
+                    if from == shard {
+                        continue;
+                    }
+                    let frame = read_frame(link)?;
+                    if frame.header.kind != FrameKind::Data {
+                        return Err(protocol_error("expected a relayed data frame"));
+                    }
+                    frame.header.expect(round, from as u16, me)?;
+                    for_each_data_entry::<A::Message>(&frame.payload, |slot, sender, msg| {
+                        crate::executor::fill_shard_slot(
+                            &mut slots,
+                            slot as usize - slot_range.start,
+                            msg,
+                            sender as usize,
+                            &mut touched,
+                        );
+                    })?;
+                }
             }
-            let frame = read_frame(link)?;
-            if frame.header.kind != FrameKind::Data {
-                return Err(protocol_error("expected a relayed data frame"));
+            DataPlane::Mesh(mesh) => {
+                mesh.exchange::<A::Message>(round, &mut |slot, sender, msg| {
+                    crate::executor::fill_shard_slot(
+                        &mut slots,
+                        slot as usize - slot_range.start,
+                        msg,
+                        sender as usize,
+                        &mut touched,
+                    );
+                })?;
             }
-            frame.header.expect(round, from as u16, me)?;
-            for_each_data_entry::<A::Message>(&frame.payload, |slot, sender, msg| {
-                crate::executor::fill_shard_slot(
-                    &mut slots,
-                    slot as usize - slot_range.start,
-                    msg,
-                    sender as usize,
-                    &mut touched,
-                );
-            })?;
         }
         report.timings.deliver += t.elapsed().as_nanos() as u64;
 
@@ -927,7 +1426,7 @@ where
                 round,
                 ..contexts[v - node_range.start]
             };
-            let r = topology.port_range(v);
+            let r = topology.port_range_from(shard, v);
             let inbox =
                 Inbox::from_slots(&slots[r.start - slot_range.start..r.end - slot_range.start]);
             nodes[v - node_range.start].receive(&ctx, &inbox);
@@ -939,6 +1438,9 @@ where
     }
 
     // --- Final report: counters + wire-encoded outputs -------------------
+    if let DataPlane::Mesh(mesh) = data {
+        report.syscall_batches += mesh.syscall_batches();
+    }
     let mut payload = Vec::new();
     for v in [
         report.messages,
@@ -952,6 +1454,7 @@ where
         report.timings.send,
         report.timings.deliver,
         report.timings.receive,
+        crate::metrics::process_peak_rss_bytes(),
     ] {
         put_u64(&mut payload, v);
     }
@@ -980,14 +1483,39 @@ where
     Ok(())
 }
 
+/// Parameters of a [`coordinate`] run.
+///
+/// The coordinator never needs the graph itself — only its global shape —
+/// so in a scale-out run it can drive workers that each built their own
+/// [`ShardSliceTopology`](crate::sharded::ShardSliceTopology) without any
+/// process materialising the full topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinateSpec {
+    /// Total node count, for output reassembly.
+    pub num_nodes: usize,
+    /// Number of shards (= workers).
+    pub shards: usize,
+    /// Round cap, after which the run stops with
+    /// [`RunMetrics::hit_round_cap`] set.
+    pub max_rounds: u64,
+    /// When true the workers exchange data frames peer-to-peer over a
+    /// [`WorkerMesh`] and the coordinator skips its collect/relay phases,
+    /// carrying only control frames.
+    pub mesh: bool,
+}
+
 /// Drives a multi-process run from the coordinator side: one blocking link
 /// per shard worker (in any order — workers are identified by the shard
 /// index of their initial vote).
 ///
-/// The coordinator relays each round's data frames between the workers,
-/// tallies the halting votes to decide rounds exactly like the in-process
-/// executors, and finally merges the per-shard counters (in shard order,
-/// so totals are deterministic) and reassembles the node outputs.
+/// In relay mode the coordinator forwards each round's data frames between
+/// the workers (counting the forwarded bytes in
+/// [`RunMetrics::relayed_data_bytes`]); in mesh mode
+/// ([`CoordinateSpec::mesh`]) the workers exchange them directly and the
+/// coordinator only paces rounds.  Either way it tallies the halting votes
+/// to decide rounds exactly like the in-process executors, and finally
+/// merges the per-shard counters (in shard order, so totals are
+/// deterministic) and reassembles the node outputs.
 ///
 /// `O` is the workers' output type ([`NodeAlgorithm::Output`] with a wire
 /// codec).
@@ -997,10 +1525,9 @@ where
 /// Propagates link I/O failures and protocol violations as `io::Error`.
 pub fn coordinate<O: WireMessage, L: Read + Write>(
     links: Vec<L>,
-    topology: &ShardedTopology,
-    max_rounds: u64,
+    spec: &CoordinateSpec,
 ) -> std::io::Result<RunOutcome<O>> {
-    let shards = topology.num_shards();
+    let shards = spec.shards;
     check_wire_shard_count(shards)?;
     if links.len() != shards {
         return Err(protocol_error("need exactly one link per shard"));
@@ -1041,7 +1568,7 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
         let total: u64 = counts.iter().sum();
         let stop = if total == 0 {
             true
-        } else if round >= max_rounds {
+        } else if round >= spec.max_rounds {
             metrics.hit_round_cap = true;
             true
         } else {
@@ -1065,34 +1592,38 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
             break;
         }
 
-        // --- Collect every worker's outbound data frames ------------------
-        let t = Instant::now();
-        for (s, link) in links.iter_mut().enumerate() {
-            for (to, slot) in relay[s].iter_mut().enumerate() {
-                if to == s {
-                    continue;
+        if !spec.mesh {
+            // --- Collect every worker's outbound data frames --------------
+            let t = Instant::now();
+            for (s, link) in links.iter_mut().enumerate() {
+                for (to, slot) in relay[s].iter_mut().enumerate() {
+                    if to == s {
+                        continue;
+                    }
+                    let frame = read_frame(link)?;
+                    if frame.header.kind != FrameKind::Data {
+                        return Err(protocol_error("expected a data frame"));
+                    }
+                    frame.header.expect(round, s as u16, to as u16)?;
+                    metrics.relayed_data_bytes +=
+                        (4 + FRAME_HEADER_BYTES + frame.payload.len()) as u64;
+                    *slot = Some(frame);
                 }
-                let frame = read_frame(link)?;
-                if frame.header.kind != FrameKind::Data {
-                    return Err(protocol_error("expected a data frame"));
-                }
-                frame.header.expect(round, s as u16, to as u16)?;
-                *slot = Some(frame);
             }
-        }
-        metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
 
-        // --- Relay them, in sending-shard order per receiver --------------
-        let t = Instant::now();
-        for (to, link) in links.iter_mut().enumerate() {
-            for row in relay.iter_mut() {
-                if let Some(frame) = row[to].take() {
-                    write_frame(link, frame.header, &frame.payload)?;
+            // --- Relay them, in sending-shard order per receiver ----------
+            let t = Instant::now();
+            for (to, link) in links.iter_mut().enumerate() {
+                for row in relay.iter_mut() {
+                    if let Some(frame) = row[to].take() {
+                        write_frame(link, frame.header, &frame.payload)?;
+                    }
                 }
+                link.flush()?;
             }
-            link.flush()?;
+            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
         }
-        metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
 
         // --- Tally the halting votes --------------------------------------
         let t = Instant::now();
@@ -1110,8 +1641,8 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
     metrics.rounds = round;
 
     // --- Merge the final reports in shard order ---------------------------
-    let mut outputs: Vec<Option<O>> = Vec::with_capacity(topology.num_nodes());
-    outputs.resize_with(topology.num_nodes(), || None);
+    let mut outputs: Vec<Option<O>> = Vec::with_capacity(spec.num_nodes);
+    outputs.resize_with(spec.num_nodes, || None);
     for (s, link) in links.iter_mut().enumerate() {
         let frame = read_frame(link)?;
         if frame.header.kind != FrameKind::Output {
@@ -1134,8 +1665,9 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
                 deliver: get_u64(p, 72)?,
                 receive: get_u64(p, 80)?,
             });
-        let count = get_u32(p, 88)? as usize;
-        let mut at = 92usize;
+        metrics.peak_rss_bytes = metrics.peak_rss_bytes.max(get_u64(p, 88)?);
+        let count = get_u32(p, 96)? as usize;
+        let mut at = 100usize;
         for _ in 0..count {
             let node = get_u32(p, at)? as usize;
             let bits = crate::wire::get_u16(p, at + 4)?;
@@ -1369,7 +1901,13 @@ mod tests {
                         serve_shard(&mut link, g, shard, nodes).expect("worker");
                     });
                 }
-                coordinate::<u64, _>(coordinator_links, &g, 1_000_000).expect("coordinator")
+                let spec = CoordinateSpec {
+                    num_nodes: n,
+                    shards,
+                    max_rounds: 1_000_000,
+                    mesh: false,
+                };
+                coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
             });
             assert_logically_equal(&seq, &out, "remote");
             assert_eq!(
@@ -1377,10 +1915,167 @@ mod tests {
                 out.metrics.messages
             );
             assert_eq!(out.metrics.shard_phase_nanos.len(), shards);
+            assert!(
+                out.metrics.peak_rss_bytes > 0,
+                "workers must report their peak RSS"
+            );
             if shards > 1 {
                 assert!(out.metrics.wire_bytes_sent > 0);
+                assert_eq!(
+                    out.metrics.relayed_data_bytes, out.metrics.wire_bytes_sent,
+                    "relay mode forwards every sealed data frame, byte for byte"
+                );
+            } else {
+                assert_eq!(out.metrics.relayed_data_bytes, 0);
             }
         }
+    }
+
+    /// The mesh data plane: workers build only their own shard slice from
+    /// the plan, exchange data frames peer-to-peer over TCP, and the
+    /// coordinator — driving control frames only — relays zero data bytes.
+    #[cfg(unix)]
+    #[test]
+    fn mesh_protocol_matches_sequential_and_relays_nothing() {
+        let n = 19;
+        let dense = ring(n);
+        let seq = Simulator::new(&dense).run(mk(n));
+        for shards in [1, 2, 3] {
+            let plan = ShardPlan::from_edge_stream(n, shards, |emit| {
+                for (u, v) in dense.edges() {
+                    emit(u, v);
+                }
+            })
+            .unwrap();
+            // Every mesh listener is bound before any worker dials, so the
+            // peer list is complete up front and dials land in the backlog.
+            let listeners: Vec<std::net::TcpListener> = (0..shards)
+                .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+                .collect();
+            let peer_list: Vec<(u16, String)> = listeners
+                .iter()
+                .enumerate()
+                .map(|(s, l)| (s as u16, l.local_addr().unwrap().to_string()))
+                .collect();
+            let mut coordinator_links = Vec::new();
+            let mut worker_ends = Vec::new();
+            for _ in 0..shards {
+                let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+                coordinator_links.push(c);
+                worker_ends.push(w);
+            }
+            let out = std::thread::scope(|scope| {
+                for (shard, (mut link, listener)) in
+                    worker_ends.drain(..).zip(listeners).enumerate()
+                {
+                    let dense = &dense;
+                    let plan = plan.clone();
+                    let peer_list = peer_list.clone();
+                    scope.spawn(move || {
+                        let slice =
+                            crate::sharded::ShardSliceTopology::build(plan, shard, |emit| {
+                                for (u, v) in dense.edges() {
+                                    emit(u, v);
+                                }
+                            })
+                            .expect("slice build");
+                        let mesh = WorkerMesh::connect(shard as u16, shards, &peer_list, &listener)
+                            .expect("mesh connect");
+                        let nodes: Vec<Gossip> = slice
+                            .shard_nodes(shard)
+                            .map(|v| Gossip::new(1 + (v as u64 % 5)))
+                            .collect();
+                        serve_shard_on(&mut link, &slice, shard, nodes, &mut DataPlane::Mesh(mesh))
+                            .expect("worker");
+                    });
+                }
+                let spec = CoordinateSpec {
+                    num_nodes: n,
+                    shards,
+                    max_rounds: 1_000_000,
+                    mesh: true,
+                };
+                coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
+            });
+            assert_logically_equal(&seq, &out, "mesh");
+            assert_eq!(
+                out.metrics.relayed_data_bytes, 0,
+                "mesh mode must not relay data through the coordinator"
+            );
+            assert!(out.metrics.peak_rss_bytes > 0);
+            if shards > 1 {
+                assert!(out.metrics.wire_bytes_sent > 0);
+                assert!(
+                    out.metrics.syscall_batches > 0,
+                    "mesh links must report their kernel write batches"
+                );
+            }
+        }
+    }
+
+    /// Relay and mesh runs seal byte-identical data frames, so the total
+    /// cross-shard wire bytes agree — the mesh saves the relay hop, not the
+    /// encoding.
+    #[cfg(unix)]
+    #[test]
+    fn mesh_and_relay_wire_bytes_agree() {
+        let n = 23;
+        let dense = ring(n);
+        let shards = 3;
+        let g = ShardedTopology::from_topology(&dense, shards).unwrap();
+        let run = |mesh: bool| {
+            let listeners: Vec<std::net::TcpListener> = (0..shards)
+                .map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap())
+                .collect();
+            let peer_list: Vec<(u16, String)> = listeners
+                .iter()
+                .enumerate()
+                .map(|(s, l)| (s as u16, l.local_addr().unwrap().to_string()))
+                .collect();
+            let mut coordinator_links = Vec::new();
+            let mut worker_ends = Vec::new();
+            for _ in 0..shards {
+                let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+                coordinator_links.push(c);
+                worker_ends.push(w);
+            }
+            std::thread::scope(|scope| {
+                for (shard, (mut link, listener)) in
+                    worker_ends.drain(..).zip(listeners).enumerate()
+                {
+                    let g = &g;
+                    let peer_list = peer_list.clone();
+                    scope.spawn(move || {
+                        let nodes: Vec<Gossip> = g
+                            .shard_nodes(shard)
+                            .map(|v| Gossip::new(1 + (v as u64 % 5)))
+                            .collect();
+                        let mut plane = if mesh {
+                            DataPlane::Mesh(
+                                WorkerMesh::connect(shard as u16, shards, &peer_list, &listener)
+                                    .expect("mesh connect"),
+                            )
+                        } else {
+                            DataPlane::Relay
+                        };
+                        serve_shard_on(&mut link, g, shard, nodes, &mut plane).expect("worker");
+                    });
+                }
+                let spec = CoordinateSpec {
+                    num_nodes: n,
+                    shards,
+                    max_rounds: 1_000_000,
+                    mesh,
+                };
+                coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
+            })
+        };
+        let relay = run(false);
+        let mesh = run(true);
+        assert_logically_equal(&relay, &mesh, "relay vs mesh");
+        assert_eq!(relay.metrics.wire_bytes_sent, mesh.metrics.wire_bytes_sent);
+        assert!(relay.metrics.relayed_data_bytes > 0);
+        assert_eq!(mesh.metrics.relayed_data_bytes, 0);
     }
 
     #[cfg(unix)]
@@ -1405,7 +2100,13 @@ mod tests {
                     serve_shard(&mut link, g, shard, nodes).expect("worker");
                 });
             }
-            coordinate::<u64, _>(coordinator_links, &g, 4).expect("coordinator")
+            let spec = CoordinateSpec {
+                num_nodes: n,
+                shards: 2,
+                max_rounds: 4,
+                mesh: false,
+            };
+            coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
         });
         assert_eq!(out.metrics.rounds, 4);
         assert!(out.metrics.hit_round_cap);
@@ -1458,6 +2159,125 @@ mod tests {
             }
             other => panic!("expected a RoundMismatch, got {other}"),
         }
+    }
+
+    /// The shard-count/host-list mismatch gate: every malformed peer list —
+    /// short, out-of-range, duplicated — is a typed [`TransportError`]
+    /// before any mesh connection is dialed, never a hang.
+    #[test]
+    fn malformed_peer_lists_are_checked_transport_errors() {
+        let ok = |s: u16| (s, format!("127.0.0.1:{}", 9000 + s));
+        validate_peer_list(&[ok(0), ok(1), ok(2)], 3).expect("a complete list validates");
+
+        let short = validate_peer_list(&[ok(0), ok(1)], 3).expect_err("short list");
+        assert!(
+            matches!(&short, TransportError::Protocol(m) if m.contains("2 workers")
+                && m.contains("3 shards")),
+            "unexpected error: {short}"
+        );
+        let long = validate_peer_list(&[ok(0), ok(1), ok(2), ok(3)], 3).expect_err("long list");
+        assert!(matches!(long, TransportError::Protocol(_)));
+        let out_of_range = validate_peer_list(&[ok(0), ok(1), ok(7)], 3).expect_err("shard 7");
+        assert!(
+            matches!(&out_of_range, TransportError::Protocol(m) if m.contains("shard 7")),
+            "unexpected error: {out_of_range}"
+        );
+        let duplicate = validate_peer_list(&[ok(0), ok(1), ok(1)], 3).expect_err("duplicate shard");
+        assert!(
+            matches!(&duplicate, TransportError::Protocol(m) if m.contains("twice")),
+            "unexpected error: {duplicate}"
+        );
+    }
+
+    /// Peer lists survive the wire round trip, and forged `Peers` frames —
+    /// truncated entries, trailing bytes, non-UTF-8 addresses, wrong kind —
+    /// are typed errors, not panics.
+    #[test]
+    fn forged_peer_frames_are_checked_transport_errors() {
+        let peers = vec![
+            (0u16, "127.0.0.1:9000".to_string()),
+            (1u16, "[::1]:9001".to_string()),
+        ];
+        let mut wire = Vec::new();
+        write_peers(&mut wire, COORDINATOR, 1, &peers).unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(parse_peers(&frame).expect("round trip"), peers);
+
+        let header = FrameHeader {
+            kind: FrameKind::Peers,
+            round: 0,
+            from: COORDINATOR,
+            to: 1,
+        };
+        // Entry count says one peer, but the entry bytes are missing.
+        let mut truncated = Vec::new();
+        put_u32(&mut truncated, 1);
+        let err = parse_peers(&Frame {
+            header,
+            payload: truncated,
+        })
+        .expect_err("truncated entry");
+        assert!(matches!(err, TransportError::Wire(_)));
+
+        // A valid single entry followed by stray trailing bytes.
+        let mut trailing = peers_payload(&peers[..1]);
+        trailing.push(0xEE);
+        let err = parse_peers(&Frame {
+            header,
+            payload: trailing,
+        })
+        .expect_err("trailing bytes");
+        assert!(matches!(
+            err,
+            TransportError::Wire(WireError::TrailingBytes(1))
+        ));
+
+        // A shard whose address bytes are not UTF-8.
+        let mut bad_utf8 = Vec::new();
+        put_u32(&mut bad_utf8, 1);
+        put_u16(&mut bad_utf8, 0);
+        put_u16(&mut bad_utf8, 2);
+        bad_utf8.extend_from_slice(&[0xFF, 0xFE]);
+        let err = parse_peers(&Frame {
+            header,
+            payload: bad_utf8,
+        })
+        .expect_err("non-UTF-8 address");
+        assert!(
+            matches!(&err, TransportError::Protocol(m) if m.contains("UTF-8")),
+            "unexpected error: {err}"
+        );
+
+        // The right payload under the wrong frame kind.
+        let err = parse_peers(&Frame {
+            header: FrameHeader {
+                kind: FrameKind::Data,
+                ..header
+            },
+            payload: peers_payload(&peers),
+        })
+        .expect_err("wrong kind");
+        assert!(matches!(err, TransportError::Protocol(_)));
+    }
+
+    /// A shard plan round-trips through the chunked `Topology` frame
+    /// sequence regardless of chunk boundaries.
+    #[test]
+    fn plans_round_trip_through_chunked_topology_frames() {
+        let n = 57;
+        let plan = ShardPlan::from_edge_stream(n, 4, |emit| {
+            for i in 0..n {
+                emit(i, (i + 1) % n);
+            }
+        })
+        .unwrap();
+        let mut wire = Vec::new();
+        write_plan(&mut wire, &plan, 2).unwrap();
+        let got = read_plan(&mut wire.as_slice(), 2).expect("plan round trip");
+        assert_eq!(got, plan);
+
+        // A worker expecting a different shard index rejects the frames.
+        read_plan(&mut wire.as_slice(), 3).expect_err("wrong destination shard");
     }
 
     /// A duplicated round-0 frame drains cleanly at round 0 — and the stale

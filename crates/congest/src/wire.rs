@@ -40,7 +40,10 @@
 //! * `kind` — [`FrameKind`]: `Data` (a batch of routed messages),
 //!   `RoundStart` (coordinator → worker round decision / stop signal),
 //!   `Vote` (worker → coordinator halting vote: the shard's active count),
-//!   `Output` (worker → coordinator final outputs + counters).
+//!   `Output` (worker → coordinator final outputs + counters),
+//!   `Topology` (coordinator → worker pass-1 shard-plan chunk) and
+//!   `Peers` (mesh address exchange) for the scale-out handshake
+//!   (see `transport`).
 //! * `round` — every frame is stamped with the round it belongs to;
 //!   receivers reject out-of-sequence frames with
 //!   [`WireError::RoundMismatch`].
@@ -439,6 +442,14 @@ pub enum FrameKind {
     Vote,
     /// Worker → coordinator: final outputs and per-shard counters.
     Output,
+    /// Coordinator → worker: one chunk of the serialized pass-1
+    /// [`ShardPlan`](crate::ShardPlan) (shard boundaries + degree header),
+    /// from which a mesh worker builds only its own topology slice.
+    Topology,
+    /// Peer address exchange for the direct worker↔worker data mesh: a
+    /// worker announces its mesh listener to the coordinator, and the
+    /// coordinator broadcasts the full `shard → address` list back.
+    Peers,
 }
 
 impl FrameKind {
@@ -448,6 +459,8 @@ impl FrameKind {
             FrameKind::RoundStart => 1,
             FrameKind::Vote => 2,
             FrameKind::Output => 3,
+            FrameKind::Topology => 4,
+            FrameKind::Peers => 5,
         }
     }
 
@@ -457,6 +470,8 @@ impl FrameKind {
             1 => Ok(FrameKind::RoundStart),
             2 => Ok(FrameKind::Vote),
             3 => Ok(FrameKind::Output),
+            4 => Ok(FrameKind::Topology),
+            5 => Ok(FrameKind::Peers),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -837,6 +852,27 @@ mod tests {
         assert_eq!(frame.header, header);
         assert_eq!(frame.payload, vec![9, 9, 9]);
         assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn handshake_frame_kinds_round_trip() {
+        // The scale-out handshake kinds (Topology, Peers) travel through the
+        // same codec as the round-loop kinds.
+        for kind in [FrameKind::Topology, FrameKind::Peers] {
+            let header = FrameHeader {
+                kind,
+                round: 0,
+                from: u16::MAX,
+                to: 2,
+            };
+            let mut out = Vec::new();
+            frame_into(&mut out, header, &[5, 6, 7, 8]);
+            let mut fb = FrameBuffer::new();
+            fb.feed(&out);
+            let frame = fb.next_frame().unwrap().unwrap();
+            assert_eq!(frame.header, header);
+            assert_eq!(frame.payload, vec![5, 6, 7, 8]);
+        }
     }
 
     #[test]

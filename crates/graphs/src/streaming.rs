@@ -30,17 +30,29 @@ use rand::{RngCore, SeedableRng};
 
 use dcme_congest::{ShardedTopology, TopologyError};
 
+/// The replayable edge stream of a cycle on `n >= 3` nodes.
+///
+/// Every `*_stream` builder here returns a closure that emits the family's
+/// full edge list on each call, always in the same order — the contract
+/// [`ShardedTopology::from_edge_stream`] (two passes) and
+/// [`ShardSliceTopology::build`](dcme_congest::ShardSliceTopology::build)
+/// (a worker replaying a coordinator's
+/// [`ShardPlan`](dcme_congest::ShardPlan)) both rely on.
+pub fn ring_stream(n: usize) -> impl FnMut(&mut dyn FnMut(usize, usize)) + Clone {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    move |emit| {
+        for i in 0..n {
+            emit(i, (i + 1) % n);
+        }
+    }
+}
+
 /// A cycle on `n >= 3` nodes, in `shards` shards.
 ///
 /// Streaming counterpart of [`generators::ring`](crate::generators::ring):
 /// identical structure, identical port numbering.
 pub fn ring(n: usize, shards: usize) -> Result<ShardedTopology, TopologyError> {
-    assert!(n >= 3, "a ring needs at least 3 nodes");
-    ShardedTopology::from_edge_stream(n, shards, |emit| {
-        for i in 0..n {
-            emit(i, (i + 1) % n);
-        }
-    })
+    ShardedTopology::from_edge_stream(n, shards, ring_stream(n))
 }
 
 /// A `w × h` grid (torus with `wrap = true`), in `shards` shards.
@@ -53,9 +65,19 @@ pub fn grid(
     wrap: bool,
     shards: usize,
 ) -> Result<ShardedTopology, TopologyError> {
+    ShardedTopology::from_edge_stream(w * h, shards, grid_stream(w, h, wrap))
+}
+
+/// The replayable edge stream of [`grid`] (see [`ring_stream`] for the
+/// replay contract).
+pub fn grid_stream(
+    w: usize,
+    h: usize,
+    wrap: bool,
+) -> impl FnMut(&mut dyn FnMut(usize, usize)) + Clone {
     assert!(w >= 1 && h >= 1);
     let id = move |x: usize, y: usize| y * w + x;
-    ShardedTopology::from_edge_stream(w * h, shards, |emit| {
+    move |emit| {
         for y in 0..h {
             for x in 0..w {
                 if x + 1 < w {
@@ -70,7 +92,7 @@ pub fn grid(
                 }
             }
         }
-    })
+    }
 }
 
 /// A random `d`-regular circulant graph on `n` nodes, in `shards` shards:
@@ -86,6 +108,17 @@ pub fn random_regular(
     seed: u64,
     shards: usize,
 ) -> Result<ShardedTopology, TopologyError> {
+    ShardedTopology::from_edge_stream(n, shards, random_regular_stream(n, d, seed))
+}
+
+/// The replayable edge stream of [`random_regular`] (see [`ring_stream`]
+/// for the replay contract): the shifts are drawn once, up front, so every
+/// replay emits the identical circulant.
+pub fn random_regular_stream(
+    n: usize,
+    d: usize,
+    seed: u64,
+) -> impl FnMut(&mut dyn FnMut(usize, usize)) + Clone {
     assert!(
         d >= 2 && d % 2 == 0,
         "circulant degree must be even and >= 2"
@@ -106,13 +139,13 @@ pub fn random_regular(
             shifts.push(s);
         }
     }
-    ShardedTopology::from_edge_stream(n, shards, move |emit| {
+    move |emit| {
         for i in 0..n {
             for &s in &shifts {
                 emit(i, (i + s) % n);
             }
         }
-    })
+    }
 }
 
 /// Erdős–Rényi `G(n, p)` on `n` nodes, in `shards` shards, via geometric
@@ -121,8 +154,15 @@ pub fn random_regular(
 /// Same distribution as [`generators::gnp`](crate::generators::gnp) but a
 /// different sample per seed (see the [module docs](self)).
 pub fn gnp(n: usize, p: f64, seed: u64, shards: usize) -> Result<ShardedTopology, TopologyError> {
+    ShardedTopology::from_edge_stream(n, shards, gnp_stream(n, p, seed))
+}
+
+/// The replayable edge stream of [`gnp`] (see [`ring_stream`] for the
+/// replay contract): the RNG is re-seeded inside the closure, so every
+/// replay draws the identical sample.
+pub fn gnp_stream(n: usize, p: f64, seed: u64) -> impl FnMut(&mut dyn FnMut(usize, usize)) + Clone {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    ShardedTopology::from_edge_stream(n, shards, |emit| {
+    move |emit| {
         if n < 2 || p <= 0.0 {
             return;
         }
@@ -161,7 +201,7 @@ pub fn gnp(n: usize, p: f64, seed: u64, shards: usize) -> Result<ShardedTopology
             let gap = skip(&mut rng);
             advance(&mut u, &mut col, 1 + gap);
         }
-    })
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +280,31 @@ mod tests {
         assert_eq!(a, gnp(60, 0.1, 5, 2).unwrap());
         // Edge count lands in a generous band around p · n(n-1)/2 = 177.
         assert!((60..350).contains(&a.num_edges()), "{}", a.num_edges());
+    }
+
+    /// Every `*_stream` closure must emit the identical edge sequence on
+    /// every call — the replay contract a remote worker depends on when it
+    /// rebuilds its shard slice from the coordinator's plan.
+    #[test]
+    fn stream_builders_replay_identically() {
+        fn edges_of(mut stream: impl FnMut(&mut dyn FnMut(usize, usize))) -> Vec<(usize, usize)> {
+            let mut edges = Vec::new();
+            stream(&mut |u, v| edges.push((u, v)));
+            edges
+        }
+        type BoxedStream = Box<dyn FnMut(&mut dyn FnMut(usize, usize))>;
+        let mut streams: Vec<BoxedStream> = vec![
+            Box::new(ring_stream(17)),
+            Box::new(grid_stream(4, 5, true)),
+            Box::new(random_regular_stream(41, 4, 7)),
+            Box::new(gnp_stream(40, 0.15, 3)),
+        ];
+        for stream in &mut streams {
+            let first = edges_of(&mut *stream);
+            let second = edges_of(&mut *stream);
+            assert!(!first.is_empty());
+            assert_eq!(first, second);
+        }
     }
 
     #[test]

@@ -338,6 +338,41 @@ proptest! {
         }
     }
 
+    /// Scale-out construction contract: the coordinator's counting pass
+    /// (`ShardPlan`) plus each worker's restricted single-shard build
+    /// (`ShardSliceTopology`) reproduces the full `ShardedTopology` exactly
+    /// — same plan, and per shard the same CSR slice, `dest_slot` remap and
+    /// reverse ports — across random graph families and shard counts.  This
+    /// is the invariant that lets mesh-mode workers rebuild only their own
+    /// shard from the shared edge stream.
+    #[test]
+    fn restricted_shard_construction_matches_full_build(
+        family in 0usize..4,
+        size in 8usize..80,
+        graph_seed in 0u64..500,
+        shards in 1usize..6,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let full = ShardedTopology::from_topology(&g, shards).expect("shardable topology");
+        let plan = full.plan();
+        let streamed = dcme_congest::ShardPlan::from_edge_stream(g.num_nodes(), shards, |emit| {
+            for (u, v) in g.edges() {
+                emit(u, v);
+            }
+        })
+        .expect("plan from stream");
+        prop_assert_eq!(&streamed, &plan, "streamed plan diverged from full build");
+        for shard in 0..shards {
+            let slice = dcme_congest::ShardSliceTopology::build(plan.clone(), shard, |emit| {
+                for (u, v) in g.edges() {
+                    emit(u, v);
+                }
+            })
+            .expect("restricted build");
+            prop_assert_eq!(&slice, &full.shard_slice(shard), "slice {} diverged", shard);
+        }
+    }
+
     /// The round cap stops every executor at the same round with the cap
     /// flag set — also under sharding.
     #[test]
