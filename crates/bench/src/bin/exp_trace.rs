@@ -1,0 +1,172 @@
+//! Trace producer: runs one experiment config with the tracing sinks
+//! attached and writes a Chrome trace-event JSON file (loadable in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`) plus an
+//! optional per-round time-series JSONL.
+//!
+//! The trace shows one process track per shard (plus pid 0 for the engine):
+//! phase slices (`send` / `deliver` / `receive`), per-shard flush and drain
+//! slices, an `active_nodes` counter track and per-shard traffic counters —
+//! the round-by-round structure the paper's claims are about, which the
+//! end-of-run aggregates of `RunMetrics` cannot show.
+//!
+//! Tracing is strictly out-of-band: the run's outputs and logical metrics
+//! are bit-for-bit identical with and without the sinks (pinned by the
+//! equivalence regression in `tests/executor_equivalence.rs`).
+//!
+//! ```sh
+//! # A 4-shard socket run, traced:
+//! cargo run -p dcme_bench --release --bin exp_trace -- \
+//!     --n 2000 --shards 4 --mode socket --out trace.json --series rounds.jsonl
+//! # then load trace.json in https://ui.perfetto.dev
+//! ```
+
+use std::io::Write;
+
+use dcme_bench::workloads;
+use dcme_congest::{
+    ChromeTraceSink, Fanout, JsonLinesWriter, PooledExecutor, RoundSeries, SequentialExecutor,
+    ShardedExecutor, Simulator, SimulatorConfig, SocketLoopback, TraceSink,
+};
+
+struct Args {
+    n: usize,
+    shards: usize,
+    graph: String,
+    tail: u64,
+    seed: u64,
+    max_rounds: u64,
+    mode: String,
+    out: std::path::PathBuf,
+    series: Option<std::path::PathBuf>,
+    label: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exp_trace [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
+         [--seed SEED] [--max-rounds R] [--mode seq|pooled|sharded|socket] \
+         [--out TRACE.json] [--series ROUNDS.jsonl] [--label LABEL]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 2000,
+        shards: 4,
+        graph: "circulant4".to_string(),
+        tail: 8,
+        seed: 7,
+        max_rounds: 1_000_000,
+        mode: "sharded".to_string(),
+        out: "trace.json".into(),
+        series: None,
+        label: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--n" => args.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--graph" => args.graph = value("--graph"),
+            "--tail" => args.tail = value("--tail").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-rounds" => {
+                args.max_rounds = value("--max-rounds").parse().unwrap_or_else(|_| usage())
+            }
+            "--mode" => args.mode = value("--mode"),
+            "--out" => args.out = value("--out").into(),
+            "--series" => args.series = Some(value("--series").into()),
+            "--label" => args.label = Some(value("--label")),
+            _ => usage(),
+        }
+    }
+    if !matches!(args.mode.as_str(), "seq" | "pooled" | "sharded" | "socket") {
+        eprintln!("unknown --mode {:?}", args.mode);
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(&args) {
+        eprintln!("exp_trace: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> std::io::Result<()> {
+    let g = workloads::build_graph(&args.graph, args.n, args.shards, args.seed)
+        .map_err(std::io::Error::other)?;
+    let nodes = workloads::gossip_nodes(0..args.n, args.tail);
+    let label = args.label.clone().unwrap_or_else(|| {
+        format!(
+            "exp_trace/{}/n{}/shards{}/{}",
+            args.graph, args.n, args.shards, args.mode
+        )
+    });
+
+    let chrome = ChromeTraceSink::new();
+    let series = RoundSeries::new();
+    let sinks: [&dyn TraceSink; 2] = [&chrome, &series];
+    let fanout = Fanout::new(&sinks);
+    let sim = Simulator::with_config(
+        &g,
+        SimulatorConfig {
+            max_rounds: args.max_rounds,
+            ..SimulatorConfig::default()
+        },
+    )
+    .with_tracer(&fanout);
+
+    let t = std::time::Instant::now();
+    let outcome = match args.mode.as_str() {
+        "seq" => sim.run_with_executor(nodes, &SequentialExecutor),
+        "pooled" => sim.run_with_executor(nodes, &PooledExecutor::new(args.shards.max(2))),
+        "sharded" => sim.run_with_executor(nodes, &ShardedExecutor::new()),
+        "socket" => sim.run_with_executor(
+            nodes,
+            &ShardedExecutor::with_transport(SocketLoopback::tcp()),
+        ),
+        _ => unreachable!("validated in parse_args"),
+    };
+    let wall = t.elapsed();
+
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&args.out)?);
+    chrome.write_json(&mut out)?;
+    out.flush()?;
+
+    if let Some(path) = &args.series {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut w = JsonLinesWriter::new(file);
+        // The RunMetrics row and the per-round rows side by side, same
+        // label: the `"kind"` tag keeps the shapes distinguishable.
+        w.append(&label, &outcome.metrics)?;
+        series.write_jsonl(&label, &mut w)?;
+    }
+
+    let summary = series.summary();
+    println!(
+        "{label}: rounds={} messages={} trace_events={} round_nanos_p50={} p95={} max={} \
+         wall_ms={:.0} -> {}",
+        outcome.metrics.rounds,
+        outcome.metrics.messages,
+        chrome.len(),
+        summary.p50_nanos,
+        summary.p95_nanos,
+        summary.max_nanos,
+        wall.as_secs_f64() * 1e3,
+        args.out.display(),
+    );
+    Ok(())
+}

@@ -24,11 +24,19 @@
 //!   coordinator carries only RoundStart/Vote/Output control frames
 //!   (`relayed_data_bytes` stays 0).
 //!
-//! For multi-host runs, start the coordinator with `--hosts FILE` (one
-//! worker address per line, shard order; the shard-count/host-list match is
-//! validated up front — a mismatch is a typed error, never a hang) and each
-//! worker with `--worker SHARD --connect COORD --mesh --listen ADDR
-//! [--advertise HOST]`.
+//! For multi-host runs, start the coordinator with `--mesh --hosts FILE`
+//! (one worker address per line, shard order; the shard-count/host-list
+//! match is validated up front — a mismatch is a typed error, never a hang;
+//! `--hosts` without `--mesh` is a usage error, since relay mode spawns its
+//! own local workers) and each worker with `--worker SHARD --connect COORD
+//! --mesh --listen ADDR [--advertise HOST]`.
+//!
+//! Live telemetry: with `--progress` every worker emits a `Stats` control
+//! frame every k rounds (default 64; `--stats-every K` overrides, and also
+//! works without `--progress` for silent collection), which the coordinator
+//! renders as `heartbeat:` lines on stderr — per-worker round progress,
+//! active count, wire bytes, peak RSS and round rate, so a stalled
+//! multi-hour mesh run shows *which* worker stopped voting.
 //!
 //! Every process derives the same topology and workload deterministically
 //! from the shared arguments, so the run is bit-for-bit comparable to an
@@ -63,6 +71,7 @@ struct Params {
     seed: u64,
     max_rounds: u64,
     mesh: bool,
+    stats_every: u64,
 }
 
 struct Args {
@@ -74,15 +83,19 @@ struct Args {
     hosts: Option<std::path::PathBuf>,
     verify: bool,
     jsonl: Option<std::path::PathBuf>,
+    progress: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: exp_worker [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
          [--seed SEED] [--max-rounds R] [--mesh] [--hosts FILE] [--listen ADDR] \
-         [--verify] [--jsonl PATH]\n\
+         [--verify] [--jsonl PATH] [--progress] [--stats-every K]\n\
          \x20      exp_worker --worker SHARD --connect HOST:PORT [--mesh] [--listen ADDR] \
-         [--advertise HOST] <same run parameters>"
+         [--advertise HOST] <same run parameters>\n\
+         \x20      --hosts requires --mesh (external workers join over the data mesh);\n\
+         \x20      --progress renders worker Stats frames as stderr heartbeat lines\n\
+         \x20      (implies --stats-every 64 unless set explicitly)"
     );
     std::process::exit(2);
 }
@@ -97,6 +110,7 @@ fn parse_args() -> Args {
             seed: 7,
             max_rounds: 1_000_000,
             mesh: false,
+            stats_every: 0,
         },
         worker: None,
         connect: None,
@@ -105,6 +119,7 @@ fn parse_args() -> Args {
         hosts: None,
         verify: false,
         jsonl: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -133,8 +148,23 @@ fn parse_args() -> Args {
             "--hosts" => args.hosts = Some(value("--hosts").into()),
             "--verify" => args.verify = true,
             "--jsonl" => args.jsonl = Some(value("--jsonl").into()),
+            "--progress" => args.progress = true,
+            "--stats-every" => {
+                args.params.stats_every = value("--stats-every").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
+    }
+    // `--hosts` only reaches external workers through the mesh handshake;
+    // in relay mode the coordinator spawns its own workers and the file
+    // would be silently ignored — reject the combination up front.
+    if args.hosts.is_some() && !args.params.mesh {
+        eprintln!("exp_worker: --hosts requires --mesh");
+        usage()
+    }
+    // `--progress` without an explicit cadence picks a default one.
+    if args.progress && args.params.stats_every == 0 {
+        args.params.stats_every = 64;
     }
     args
 }
@@ -159,6 +189,7 @@ fn main() {
             &args.listen,
             args.verify,
             jsonl.as_deref(),
+            args.progress,
         ),
     };
     if let Err(e) = result {
@@ -221,12 +252,15 @@ fn run_worker(
         let slice = build_slice(params, plan, shard)?;
         let mesh = transport::WorkerMesh::connect(me, params.shards, &peers, &listener)?;
         let nodes = workloads::gossip_nodes(slice.shard_nodes(shard), params.tail);
-        transport::serve_shard_on(
+        transport::serve_shard_with(
             &mut link,
             &slice,
             shard,
             nodes,
             &mut transport::DataPlane::Mesh(mesh),
+            &transport::ServeOptions {
+                stats_every: params.stats_every,
+            },
         )
     } else {
         // Relay mode needs no handshake: the worker derives the plan itself
@@ -237,7 +271,16 @@ fn run_worker(
             .map_err(|e| std::io::Error::other(e.to_string()))?;
         let slice = build_slice(params, plan, shard)?;
         let nodes = workloads::gossip_nodes(slice.shard_nodes(shard), params.tail);
-        transport::serve_shard(&mut link, &slice, shard, nodes)
+        transport::serve_shard_with(
+            &mut link,
+            &slice,
+            shard,
+            nodes,
+            &mut transport::DataPlane::Relay,
+            &transport::ServeOptions {
+                stats_every: params.stats_every,
+            },
+        )
     }
 }
 
@@ -267,6 +310,7 @@ fn run_coordinator(
     listen: &str,
     verify: bool,
     jsonl: Option<&std::path::Path>,
+    progress: bool,
 ) -> std::io::Result<()> {
     let hosts = hosts
         .map(|path| read_hosts(path, params.shards))
@@ -307,6 +351,9 @@ fn run_coordinator(
             ]);
             if params.mesh {
                 cmd.arg("--mesh");
+            }
+            if params.stats_every > 0 {
+                cmd.args(["--stats-every", &params.stats_every.to_string()]);
             }
             children.push(cmd.stdin(Stdio::null()).spawn()?);
         }
@@ -350,6 +397,7 @@ fn run_coordinator(
         shards: params.shards,
         max_rounds: params.max_rounds,
         mesh: params.mesh,
+        progress,
     };
     let t = std::time::Instant::now();
     let outcome = transport::coordinate::<u64, _>(links, &spec);

@@ -54,6 +54,28 @@
 //! like the two timing counters — scheduling-dependent, so exempt from the
 //! executor-equivalence guarantee.
 //!
+//! `phase_nanos` covers only the three engine phases; the transport's frame
+//! sealing/flushing time is the separate `transport_flush_nanos` counter.
+//! Socket-run wall-clock totals should therefore quote
+//! [`dcme_congest::RunMetrics::total_with_transport`]
+//! (`phase_nanos.total() + transport_flush_nanos`), not
+//! `phase_nanos.total()` alone, which under-reports socket runs.
+//!
+//! **Round-series rows** (`exp_trace --series PATH`, or any
+//! [`dcme_congest::RoundSeries::write_jsonl`] caller): one row per round of
+//! one run, tagged `"kind":"round_series"` to keep the shapes distinguishable
+//! in a shared file:
+//!
+//! ```json
+//! {"kind":"round_series","label":"circulant4/n2000/sharded4","round":3,"active":1480,
+//!  "wall_nanos":52114,"messages":5920,"bits":88800,"cross_messages":12,"wire_bytes":1536}
+//! ```
+//!
+//! Both row shapes round-trip: [`dcme_congest::RunMetrics::from_json`] and
+//! [`dcme_congest::RoundRow::from_json`] parse emitted lines back (pinned by
+//! field-for-field equality tests), so schema drift fails loudly instead of
+//! silently corrupting analyses.
+//!
 //! `relayed_data_bytes` is the coordinator-side mirror of
 //! `wire_bytes_sent`: the data-frame bytes the multi-process coordinator
 //! forwarded between workers.  Equal to `wire_bytes_sent` in relay mode,

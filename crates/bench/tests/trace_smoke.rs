@@ -1,0 +1,182 @@
+//! End-to-end smoke of the tracing subsystem: `exp_trace` must emit
+//! well-formed Chrome trace-event JSON (one process track per shard,
+//! nonzero phase slices) plus per-round series rows that parse back
+//! field-for-field, and a `--progress` multi-process `exp_worker` run must
+//! render worker heartbeat lines on stderr.
+
+use std::process::Command;
+
+use dcme_congest::{JsonValue, RoundRow, RunMetrics};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcme_trace_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn exp_trace_emits_wellformed_chrome_trace_json() {
+    let dir = tmp_dir("chrome");
+    let trace = dir.join("trace.json");
+    let shards = 3;
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_trace"))
+        .args([
+            "--n",
+            "600",
+            "--shards",
+            &shards.to_string(),
+            "--graph",
+            "circulant4",
+            "--tail",
+            "6",
+            "--mode",
+            "sharded",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn exp_trace");
+    assert!(
+        out.status.success(),
+        "exp_trace failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = JsonValue::parse(&text).expect("trace file must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("top-level traceEvents array");
+    assert!(!events.is_empty(), "empty trace");
+
+    let mut pids = std::collections::BTreeSet::new();
+    let mut named_tracks = std::collections::BTreeSet::new();
+    let mut nonzero_slices = 0usize;
+    for ev in events {
+        // Every event carries the Chrome trace-event required fields.
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some(), "ts field");
+        let pid = ev.get("pid").and_then(|p| p.as_u64()).expect("pid field");
+        pids.insert(pid);
+        if ph == "M" {
+            named_tracks.insert(pid);
+        }
+        if ph == "X" && ev.get("dur").and_then(|d| d.as_f64()).unwrap_or(0.0) > 0.0 {
+            nonzero_slices += 1;
+        }
+    }
+    // One track per shard plus the engine track, each with process_name
+    // metadata so Perfetto labels them.
+    let expected: std::collections::BTreeSet<u64> = (0..=shards).collect();
+    assert_eq!(pids, expected, "one pid per shard plus the engine");
+    assert_eq!(named_tracks, expected, "every track is named");
+    assert!(
+        nonzero_slices > 0,
+        "trace must contain nonzero-duration phase slices"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exp_trace_series_rows_round_trip() {
+    let dir = tmp_dir("series");
+    let trace = dir.join("trace.json");
+    let series = dir.join("rounds.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_trace"))
+        .args([
+            "--n",
+            "400",
+            "--shards",
+            "2",
+            "--graph",
+            "ring",
+            "--tail",
+            "5",
+            "--mode",
+            "seq",
+            "--out",
+            trace.to_str().unwrap(),
+            "--series",
+            series.to_str().unwrap(),
+            "--label",
+            "smoke",
+        ])
+        .output()
+        .expect("spawn exp_trace");
+    assert!(
+        out.status.success(),
+        "exp_trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&series).unwrap();
+    let mut lines = text.lines();
+    // First row: the RunMetrics line. Parsing it back and re-serializing
+    // must reproduce the emitted line byte for byte — field-for-field
+    // round-trip of the whole schema.
+    let metrics_line = lines.next().expect("metrics row");
+    let (label, metrics) = RunMetrics::from_json(metrics_line).expect("parse metrics row");
+    assert_eq!(label, "smoke");
+    assert_eq!(metrics.to_json(&label), metrics_line, "metrics round-trip");
+
+    // Remaining rows: one per round, in order, consistent with the
+    // engine's own active-set profile — and round-tripping likewise.
+    let rows: Vec<(String, RoundRow)> = lines
+        .map(|line| RoundRow::from_json(line).expect("parse series row"))
+        .collect();
+    assert_eq!(rows.len() as u64, metrics.rounds, "one row per round");
+    let mut messages = 0;
+    for (i, (row_label, row)) in rows.iter().enumerate() {
+        assert_eq!(row_label, "smoke");
+        assert_eq!(row.round, i as u64);
+        assert_eq!(
+            row.active as usize, metrics.active_per_round[i],
+            "active-set mismatch at round {i}"
+        );
+        assert_eq!(row.to_json(row_label), text.lines().nth(i + 1).unwrap());
+        messages += row.messages;
+    }
+    assert_eq!(messages, metrics.messages, "per-round messages must sum up");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_coordinator_renders_worker_heartbeats() {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_worker"))
+        .args([
+            "--n",
+            "600",
+            "--shards",
+            "2",
+            "--graph",
+            "circulant4",
+            "--tail",
+            "7",
+            "--progress",
+            "--stats-every",
+            "1",
+            "--verify",
+        ])
+        .output()
+        .expect("spawn exp_worker");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "exp_worker --progress failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    // Telemetry is out-of-band: the run still verifies bit-for-bit.
+    assert!(stdout.contains("verify: OK"), "missing verify in: {stdout}");
+    for shard in 0..2 {
+        assert!(
+            stderr.contains(&format!("heartbeat: shard {shard} ")),
+            "missing shard {shard} heartbeat in stderr: {stderr}"
+        );
+    }
+    assert!(
+        stderr.contains("rounds/s"),
+        "heartbeat lines must carry a round rate: {stderr}"
+    );
+}

@@ -108,6 +108,7 @@ use crate::algorithm::{Inbox, MessageSize, NodeAlgorithm, NodeContext, Outbox};
 use crate::metrics::{PhaseTimings, RunMetrics};
 use crate::sharded::{ShardTopologyView, ShardedTopology};
 use crate::topology::{NodeId, Port, Topology, TopologyView};
+use crate::trace::{TraceEvent, TracePhase, TraceSink};
 use crate::transport::{InProcess, Transport, TransportBuilder};
 
 /// The reusable per-run arena of the round engine.
@@ -234,9 +235,16 @@ impl<M: MessageSize + Clone> RoundState<M> {
 /// * the result is bit-for-bit identical to [`SequentialExecutor`] (outputs
 ///   and all metrics except wall-clock [`PhaseTimings`]);
 /// * on return, `metrics.rounds`, `metrics.hit_round_cap`,
-///   `metrics.active_per_round` and `metrics.phase_nanos` are filled in.
+///   `metrics.active_per_round` and `metrics.phase_nanos` are filled in;
+/// * `tracer` is observed **out-of-band** (see [`crate::trace`]): the
+///   executor reports run / round / phase / shard events into it but must
+///   never let the sink influence the run — attaching any sink leaves
+///   outputs and metrics bit-for-bit unchanged.  When
+///   [`TraceSink::enabled`] is `false` (the [`crate::trace::NoTrace`]
+///   default) no events are constructed at all.
 pub trait Executor<T: TopologyView = Topology> {
     /// Drives `nodes` (already initialised) to completion or to `max_rounds`.
+    #[allow(clippy::too_many_arguments)]
     fn drive<A: NodeAlgorithm>(
         &self,
         topology: &T,
@@ -245,6 +253,7 @@ pub trait Executor<T: TopologyView = Topology> {
         state: &mut RoundState<A::Message>,
         max_rounds: u64,
         metrics: &mut RunMetrics,
+        tracer: &dyn TraceSink,
     );
 }
 
@@ -263,7 +272,17 @@ impl<T: TopologyView> Executor<T> for SequentialExecutor {
         state: &mut RoundState<A::Message>,
         max_rounds: u64,
         metrics: &mut RunMetrics,
+        tracer: &dyn TraceSink,
     ) {
+        // Hoisted once: with the no-op sink every `if traced` below is a
+        // never-taken branch on a local — no event is ever constructed.
+        let traced = tracer.enabled();
+        if traced {
+            tracer.emit(&TraceEvent::RunStart {
+                nodes: nodes.len(),
+                shards: 1,
+            });
+        }
         let mut active = std::mem::take(&mut state.active);
         active.clear();
         active.extend((0..nodes.len()).filter(|&v| !nodes[v].is_halted()));
@@ -278,6 +297,17 @@ impl<T: TopologyView> Executor<T> for SequentialExecutor {
                 break;
             }
             metrics.active_per_round.push(active.len());
+            if traced {
+                tracer.emit(&TraceEvent::RoundStart {
+                    round,
+                    active: active.len(),
+                });
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Send,
+                });
+            }
 
             // --- Send phase ---------------------------------------------
             let t = Instant::now();
@@ -292,16 +322,52 @@ impl<T: TopologyView> Executor<T> for SequentialExecutor {
                     staged.push((v, outbox));
                 }
             }
-            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+            let send_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.send += send_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Send,
+                    nanos: send_d,
+                });
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Deliver,
+                });
+            }
 
             // --- Delivery -----------------------------------------------
             let t = Instant::now();
+            let (m0, b0) = (metrics.messages, metrics.total_bits);
             state.clear_round();
             for (v, outbox) in staged.drain(..) {
                 state.deliver(topology, v, outbox, metrics);
             }
             state.staged = staged;
-            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+            let deliver_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.deliver += deliver_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Deliver,
+                    nanos: deliver_d,
+                });
+                tracer.emit(&TraceEvent::ShardRound {
+                    round,
+                    shard: 0,
+                    messages: metrics.messages - m0,
+                    bits: metrics.total_bits - b0,
+                    cross: 0,
+                });
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Receive,
+                });
+            }
 
             // --- Receive phase ------------------------------------------
             let t = Instant::now();
@@ -314,11 +380,28 @@ impl<T: TopologyView> Executor<T> for SequentialExecutor {
                 nodes[v].receive(&ctx, &inbox);
             }
             active.retain(|&v| !nodes[v].is_halted());
-            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+            let receive_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.receive += receive_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Receive,
+                    nanos: receive_d,
+                });
+                tracer.emit(&TraceEvent::RoundEnd {
+                    round,
+                    active: active.len(),
+                    nanos: send_d + deliver_d + receive_d,
+                });
+            }
 
             round += 1;
         }
 
+        if traced {
+            tracer.emit(&TraceEvent::RunEnd { rounds: round });
+        }
         metrics.rounds = round;
         state.active = active;
     }
@@ -475,10 +558,17 @@ impl<T: TopologyView> Executor<T> for PooledExecutor {
         state: &mut RoundState<A::Message>,
         max_rounds: u64,
         metrics: &mut RunMetrics,
+        tracer: &dyn TraceSink,
     ) {
         let n = nodes.len();
         let chunk = n.div_ceil(self.threads).max(1);
         let workers = n.div_ceil(chunk); // number of nonempty chunks (0 if n == 0)
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent::RunStart {
+                nodes: n,
+                shards: 1,
+            });
+        }
 
         let arena = RwLock::new(std::mem::take(state));
         let signal = RoundSignal {
@@ -510,10 +600,15 @@ impl<T: TopologyView> Executor<T> for PooledExecutor {
                 });
             }
             coordinate(
-                topology, &arena, &signal, &sync, &mailboxes, max_rounds, metrics,
+                topology, &arena, &signal, &sync, &mailboxes, max_rounds, metrics, tracer,
             );
         });
 
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent::RunEnd {
+                rounds: metrics.rounds,
+            });
+        }
         *state = arena.into_inner().unwrap_or_else(|e| e.into_inner());
         sync.rethrow();
     }
@@ -599,7 +694,11 @@ fn worker_loop<A: NodeAlgorithm, T: TopologyView>(
 }
 
 /// The coordinator half of the pooled barrier protocol (runs on the calling
-/// thread inside the worker scope).
+/// thread inside the worker scope).  Trace events are emitted coordinator-
+/// side only (as shard 0): phase windows are coordinator-measured anyway,
+/// and per-round traffic comes from the metrics deltas of the delivery
+/// phase, so workers stay uninstrumented.
+#[allow(clippy::too_many_arguments)]
 fn coordinate<M: MessageSize + Clone, T: TopologyView>(
     topology: &T,
     arena: &RwLock<RoundState<M>>,
@@ -608,7 +707,9 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
     mailboxes: &[Mutex<Mailbox<M>>],
     max_rounds: u64,
     metrics: &mut RunMetrics,
+    tracer: &dyn TraceSink,
 ) {
+    let traced = tracer.enabled();
     let mut round: u64 = 0;
     if sync.sync() {
         // ready: initial active counts are published
@@ -626,6 +727,12 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
                     signal.stop.store(true, Ordering::SeqCst);
                 } else {
                     metrics.active_per_round.push(total);
+                    if traced {
+                        tracer.emit(&TraceEvent::RoundStart {
+                            round,
+                            active: total,
+                        });
+                    }
                     signal.round.store(round, Ordering::SeqCst);
                     proceed = true;
                 }
@@ -637,13 +744,35 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
                 break;
             }
 
+            if traced {
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Send,
+                });
+            }
             let t = Instant::now();
             if !sync.sync() {
                 break; // B: workers ran the send phase in this window
             }
-            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+            let send_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.send += send_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Send,
+                    nanos: send_d,
+                });
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Deliver,
+                });
+            }
 
             let t = Instant::now();
+            let (m0, b0) = (metrics.messages, metrics.total_bits);
             sync.guard(|| {
                 let mut st = arena.write().expect("arena write lock");
                 st.clear_round();
@@ -657,13 +786,55 @@ fn coordinate<M: MessageSize + Clone, T: TopologyView>(
             if !sync.sync() {
                 break; // C
             }
-            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+            let deliver_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.deliver += deliver_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Deliver,
+                    nanos: deliver_d,
+                });
+                tracer.emit(&TraceEvent::ShardRound {
+                    round,
+                    shard: 0,
+                    messages: metrics.messages - m0,
+                    bits: metrics.total_bits - b0,
+                    cross: 0,
+                });
+                tracer.emit(&TraceEvent::PhaseStart {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Receive,
+                });
+            }
 
             let t = Instant::now();
             if !sync.sync() {
                 break; // D: workers ran the receive phase in this window
             }
-            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+            let receive_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.receive += receive_d;
+            if traced {
+                tracer.emit(&TraceEvent::PhaseEnd {
+                    round,
+                    shard: 0,
+                    phase: TracePhase::Receive,
+                    nanos: receive_d,
+                });
+                // Workers published their post-compaction counts before D,
+                // and won't touch them again until after the next A guard —
+                // so this traced-only read is race-free.
+                let remaining: usize = mailboxes
+                    .iter()
+                    .map(|m| m.lock().expect("mailbox lock").active)
+                    .sum();
+                tracer.emit(&TraceEvent::RoundEnd {
+                    round,
+                    active: remaining,
+                    nanos: send_d + deliver_d + receive_d,
+                });
+            }
 
             round += 1;
         }
@@ -781,6 +952,7 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
         state: &mut RoundState<A::Message>,
         max_rounds: u64,
         metrics: &mut RunMetrics,
+        tracer: &dyn TraceSink,
     ) {
         let shard_count = topology.num_shards();
         assert_eq!(
@@ -788,6 +960,12 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
             topology.num_directed_edges(),
             "arena must be pre-sized for this topology"
         );
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent::RunStart {
+                nodes: nodes.len(),
+                shards: shard_count,
+            });
+        }
         // Workers track touched slots locally (in shard-local indices), so
         // any global bookkeeping left in a reused arena is retired first.
         state.clear_round();
@@ -841,10 +1019,11 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
                         delivery,
                         active_count,
                         report,
+                        tracer,
                     );
                 });
             }
-            sharded_coordinate(&signal, &sync, &active_counts, max_rounds, metrics);
+            sharded_coordinate(&signal, &sync, &active_counts, max_rounds, metrics, tracer);
         });
 
         for report in &reports {
@@ -859,6 +1038,11 @@ impl<B: TransportBuilder> Executor<ShardedTopology> for ShardedExecutor<B> {
             metrics.syscall_batches += r.syscall_batches;
             metrics.stale_overwrites += r.stale_overwrites;
             metrics.shard_phase_nanos.push(r.timings);
+        }
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent::RunEnd {
+                rounds: metrics.rounds,
+            });
         }
         sync.rethrow();
     }
@@ -947,7 +1131,12 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
     delivery: DeliveryMode,
     active_count: &AtomicUsize,
     report: &Mutex<ShardReport>,
+    tracer: &dyn TraceSink,
 ) {
+    let traced = tracer.enabled();
+    if traced {
+        tracer.emit(&TraceEvent::WorkerStart { shard });
+    }
     let mut active: Vec<NodeId> = Vec::new();
     let mut touched: Vec<usize> = Vec::new(); // shard-local slot indices
     let mut local = ShardReport::default();
@@ -974,6 +1163,14 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
             // --- Send + route: clear own slots, stage this round's
             // messages, flush the transport at the send barrier ---------------
             sync.guard(|| {
+                if traced {
+                    tracer.emit(&TraceEvent::PhaseStart {
+                        round,
+                        shard,
+                        phase: TracePhase::Send,
+                    });
+                }
+                let (m0, b0, c0) = (local.messages, local.total_bits, local.cross);
                 let t = Instant::now();
                 for i in touched.drain(..) {
                     slots[i] = None;
@@ -999,10 +1196,34 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
                         },
                     );
                 }
-                local.timings.send += t.elapsed().as_nanos() as u64;
+                let send_d = t.elapsed().as_nanos() as u64;
+                local.timings.send += send_d;
+                let w0 = local.wire_bytes;
                 let t = Instant::now();
                 local.wire_bytes += transport.flush(shard, round);
-                local.flush_nanos += t.elapsed().as_nanos() as u64;
+                let flush_d = t.elapsed().as_nanos() as u64;
+                local.flush_nanos += flush_d;
+                if traced {
+                    tracer.emit(&TraceEvent::PhaseEnd {
+                        round,
+                        shard,
+                        phase: TracePhase::Send,
+                        nanos: send_d,
+                    });
+                    tracer.emit(&TraceEvent::ShardRound {
+                        round,
+                        shard,
+                        messages: local.messages - m0,
+                        bits: local.total_bits - b0,
+                        cross: local.cross - c0,
+                    });
+                    tracer.emit(&TraceEvent::ShardFlush {
+                        round,
+                        shard,
+                        wire_bytes: local.wire_bytes - w0,
+                        nanos: flush_d,
+                    });
+                }
             });
             if !sync.sync() {
                 break; // B: all routing staged and flushed
@@ -1010,6 +1231,13 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
 
             // --- Drain the incoming cross-shard channels into own slots ------
             sync.guard(|| {
+                if traced {
+                    tracer.emit(&TraceEvent::PhaseStart {
+                        round,
+                        shard,
+                        phase: TracePhase::Deliver,
+                    });
+                }
                 let t = Instant::now();
                 transport
                     .drain(shard, round, &mut |slot, sender, msg| {
@@ -1030,7 +1258,21 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
                         }
                     })
                     .unwrap_or_else(|e| panic!("cross-shard transport failed: {e}"));
-                local.timings.deliver += t.elapsed().as_nanos() as u64;
+                let drain_d = t.elapsed().as_nanos() as u64;
+                local.timings.deliver += drain_d;
+                if traced {
+                    tracer.emit(&TraceEvent::ShardDrain {
+                        round,
+                        shard,
+                        nanos: drain_d,
+                    });
+                    tracer.emit(&TraceEvent::PhaseEnd {
+                        round,
+                        shard,
+                        phase: TracePhase::Deliver,
+                        nanos: drain_d,
+                    });
+                }
             });
             if !sync.sync() {
                 break; // C: every slot of this round is in place
@@ -1038,6 +1280,13 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
 
             // --- Receive + compact -------------------------------------------
             sync.guard(|| {
+                if traced {
+                    tracer.emit(&TraceEvent::PhaseStart {
+                        round,
+                        shard,
+                        phase: TracePhase::Receive,
+                    });
+                }
                 let t = Instant::now();
                 for &v in &active {
                     let ctx = NodeContext {
@@ -1050,7 +1299,16 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
                 }
                 active.retain(|&v| !nodes[v - node_base].is_halted());
                 active_count.store(active.len(), Ordering::SeqCst);
-                local.timings.receive += t.elapsed().as_nanos() as u64;
+                let receive_d = t.elapsed().as_nanos() as u64;
+                local.timings.receive += receive_d;
+                if traced {
+                    tracer.emit(&TraceEvent::PhaseEnd {
+                        round,
+                        shard,
+                        phase: TracePhase::Receive,
+                        nanos: receive_d,
+                    });
+                }
             });
             if !sync.sync() {
                 break; // D: all receives done — coordinator decides
@@ -1067,6 +1325,9 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
     }
     local.syscall_batches = transport.syscall_batches(shard);
     *report.lock().unwrap_or_else(|e| e.into_inner()) = local;
+    if traced {
+        tracer.emit(&TraceEvent::WorkerEnd { shard });
+    }
 }
 
 /// The coordinator half of the sharded protocol: decides rounds from the
@@ -1079,7 +1340,9 @@ fn sharded_coordinate(
     active_counts: &[AtomicUsize],
     max_rounds: u64,
     metrics: &mut RunMetrics,
+    tracer: &dyn TraceSink,
 ) {
+    let traced = tracer.enabled();
     let mut round: u64 = 0;
     if sync.sync() {
         // ready: initial active counts are published
@@ -1094,6 +1357,12 @@ fn sharded_coordinate(
                     signal.stop.store(true, Ordering::SeqCst);
                 } else {
                     metrics.active_per_round.push(total);
+                    if traced {
+                        tracer.emit(&TraceEvent::RoundStart {
+                            round,
+                            active: total,
+                        });
+                    }
                     signal.round.store(round, Ordering::SeqCst);
                     proceed = true;
                 }
@@ -1109,19 +1378,33 @@ fn sharded_coordinate(
             if !sync.sync() {
                 break; // B: send + intra-shard delivery window
             }
-            metrics.phase_nanos.send += t.elapsed().as_nanos() as u64;
+            let send_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.send += send_d;
 
             let t = Instant::now();
             if !sync.sync() {
                 break; // C: cross-shard drain window
             }
-            metrics.phase_nanos.deliver += t.elapsed().as_nanos() as u64;
+            let deliver_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.deliver += deliver_d;
 
             let t = Instant::now();
             if !sync.sync() {
                 break; // D: receive window
             }
-            metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+            let receive_d = t.elapsed().as_nanos() as u64;
+            metrics.phase_nanos.receive += receive_d;
+            if traced {
+                // Workers stored their post-compaction counts before D and
+                // won't store again until the next round's receive guard
+                // (which needs this coordinator at A first) — race-free.
+                let remaining: usize = active_counts.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+                tracer.emit(&TraceEvent::RoundEnd {
+                    round,
+                    active: remaining,
+                    nanos: send_d + deliver_d + receive_d,
+                });
+            }
 
             round += 1;
         }

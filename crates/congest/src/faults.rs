@@ -47,6 +47,7 @@ use crate::executor::{DeliveryMode, ShardedExecutor};
 use crate::sharded::ShardedTopology;
 use crate::simulator::{RunOutcome, Simulator, SimulatorConfig};
 use crate::topology::TopologyView;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::transport::{Transport, TransportBuilder, TransportError, TransportMessage};
 use crate::NodeAlgorithm;
 
@@ -363,6 +364,35 @@ impl FaultLog {
     }
 }
 
+/// An optional shared [`TraceSink`] the fault layer mirrors its event log
+/// into, as [`TraceEvent::Fault`] emissions.  `None` (the default) costs one
+/// branch per *logged fault*, never per message.
+#[derive(Clone, Default)]
+struct FaultTracer(Option<Arc<dyn TraceSink + Send + Sync>>);
+
+impl std::fmt::Debug for FaultTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FaultTracer")
+            .field(&self.0.as_ref().map(|_| "dyn TraceSink"))
+            .finish()
+    }
+}
+
+impl FaultTracer {
+    fn emit(&self, e: &FaultEvent) {
+        if let Some(t) = &self.0 {
+            if t.enabled() {
+                t.emit(&TraceEvent::Fault {
+                    round: e.round,
+                    from: e.from as usize,
+                    to: e.to as usize,
+                    kind: e.kind,
+                });
+            }
+        }
+    }
+}
+
 /// A [`TransportBuilder`] that wraps any inner backend with the
 /// seed-deterministic fault layer described in the [module docs](self).
 ///
@@ -376,6 +406,7 @@ pub struct FaultyTransport<B: TransportBuilder = crate::transport::InProcess> {
     plan: FaultPlan,
     inner: B,
     log: FaultLog,
+    tracer: FaultTracer,
 }
 
 impl Default for FaultPlan {
@@ -391,6 +422,7 @@ impl<B: TransportBuilder> FaultyTransport<B> {
             plan,
             inner,
             log: FaultLog::default(),
+            tracer: FaultTracer::default(),
         }
     }
 
@@ -398,6 +430,17 @@ impl<B: TransportBuilder> FaultyTransport<B> {
     /// [`ShardedExecutor`].
     pub fn log(&self) -> FaultLog {
         self.log.clone()
+    }
+
+    /// Mirrors every logged fault decision into `tracer` as a
+    /// [`TraceEvent::Fault`], in addition to the event log.
+    ///
+    /// The sink is shared (`Arc`) because the builder is cloned into worker
+    /// threads; like every trace seam, it is strictly out-of-band — the
+    /// fault decisions, the log and the run outcome are unaffected.
+    pub fn with_tracer(mut self, tracer: Arc<dyn TraceSink + Send + Sync>) -> Self {
+        self.tracer = FaultTracer(Some(tracer));
+        self
     }
 }
 
@@ -414,6 +457,7 @@ impl<B: TransportBuilder> TransportBuilder for FaultyTransport<B> {
             shards,
             plan: self.plan.clone(),
             log: self.log.clone(),
+            tracer: self.tracer.clone(),
             pend: (0..cells).map(|_| Mutex::new(Vec::new())).collect(),
             future: (0..cells).map(|_| Mutex::new(BTreeMap::new())).collect(),
             inner: self.inner.build::<M>(topology)?,
@@ -436,6 +480,7 @@ pub struct FaultyLayer<T, M> {
     shards: usize,
     plan: FaultPlan,
     log: FaultLog,
+    tracer: FaultTracer,
     /// `S × S` staging cells (`from * S + to`), written only by worker
     /// `from` between the send and flush of one round.
     pend: Vec<Mutex<StagedCell<M>>>,
@@ -488,10 +533,9 @@ impl<T: Transport<M>, M: TransportMessage> Transport<M> for FaultyLayer<T, M> {
                             self.plan
                                 .partition_clear_round(from as u16, to as u16, round);
                         self.schedule(cell, until_round, slot, sender, msg);
-                        self.log
-                            .push(event(FaultKind::PartitionDeferred { until_round }));
+                        self.record(event(FaultKind::PartitionDeferred { until_round }));
                     } else {
-                        self.log.push(event(FaultKind::PartitionDropped));
+                        self.record(event(FaultKind::PartitionDropped));
                     }
                     continue;
                 }
@@ -503,17 +547,17 @@ impl<T: Transport<M>, M: TransportMessage> Transport<M> for FaultyLayer<T, M> {
                 if roll < delay_at && self.plan.retransmit {
                     // The overlay masks whatever fault was rolled.
                     self.inner.stage(from, to, slot, sender, msg);
-                    self.log.push(event(FaultKind::Retransmitted));
+                    self.record(event(FaultKind::Retransmitted));
                 } else if roll < drop_at {
-                    self.log.push(event(FaultKind::Dropped));
+                    self.record(event(FaultKind::Dropped));
                 } else if roll < dup_at {
                     self.schedule(cell, round + 1, slot, sender, msg.clone());
                     self.inner.stage(from, to, slot, sender, msg);
-                    self.log.push(event(FaultKind::Duplicated));
+                    self.record(event(FaultKind::Duplicated));
                 } else if roll < delay_at {
                     let rounds = 1 + (word >> 32) % self.plan.max_delay.max(1);
                     self.schedule(cell, round + rounds, slot, sender, msg);
-                    self.log.push(event(FaultKind::Delayed { rounds }));
+                    self.record(event(FaultKind::Delayed { rounds }));
                 } else {
                     self.inner.stage(from, to, slot, sender, msg);
                 }
@@ -537,6 +581,12 @@ impl<T: Transport<M>, M: TransportMessage> Transport<M> for FaultyLayer<T, M> {
 }
 
 impl<T, M> FaultyLayer<T, M> {
+    /// Logs one fault decision and mirrors it to the attached trace sink.
+    fn record(&self, e: FaultEvent) {
+        self.tracer.emit(&e);
+        self.log.push(e);
+    }
+
     fn schedule(&self, cell: usize, round: u64, slot: u32, sender: u32, msg: M) {
         self.future[cell]
             .lock()

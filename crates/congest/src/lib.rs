@@ -48,7 +48,16 @@
 //!   runs require,
 //! * [`mc`] — a bounded model checker that exhaustively explores message
 //!   fault placements on tiny instances and reports minimal counterexample
-//!   traces against the coloring invariants.
+//!   traces against the coloring invariants,
+//! * [`trace`] — the out-of-band observability seam ([`trace::TraceSink`]):
+//!   per-round / per-phase / per-shard trace events emitted by every
+//!   executor and the fault injector, with a Chrome-trace sink
+//!   ([`trace::ChromeTraceSink`], loadable in Perfetto) and a per-round
+//!   time-series sink ([`trace::RoundSeries`]); attaching a sink never
+//!   changes outputs or metrics,
+//! * [`json`] — a minimal JSON parser ([`json::JsonValue`]) so the
+//!   hand-rolled JSONL rows and trace files can be read back and validated
+//!   without real `serde`.
 //!
 //! The simulator is deterministic: given the same topology and the same
 //! (deterministic) node algorithms it always produces the same outputs,
@@ -63,11 +72,13 @@ pub mod algorithm;
 pub mod bandwidth;
 pub mod executor;
 pub mod faults;
+pub mod json;
 pub mod mc;
 pub mod metrics;
 pub mod sharded;
 pub mod simulator;
 pub mod topology;
+pub mod trace;
 pub mod transport;
 pub mod wire;
 
@@ -79,13 +90,19 @@ pub use executor::{
 pub use faults::{
     run_faulty, FaultEvent, FaultKind, FaultPlan, FaultyRun, FaultyTransport, InvariantViolation,
 };
+pub use json::{JsonError, JsonValue};
 pub use mc::{CheckableAlgorithm, Counterexample, McConfig, McFault, McVerdict, Violation};
 pub use metrics::{process_peak_rss_bytes, JsonLinesWriter, PhaseTimings, RunMetrics};
 pub use sharded::{ShardPlan, ShardSliceTopology, ShardTopologyView, ShardedTopology};
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
 pub use topology::{BallScratch, NodeId, Port, Topology, TopologyError, TopologyView};
+pub use trace::{
+    ChromeTraceSink, Fanout, NoTrace, RecordingSink, RoundRow, RoundSeries, SeriesSummary,
+    TraceEvent, TracePhase, TraceSink,
+};
 pub use transport::{
-    coordinate, serve_shard, serve_shard_on, CoordinateSpec, DataPlane, InProcess, SocketLoopback,
-    Transport, TransportBuilder, TransportError, TransportMessage, WorkerMesh,
+    coordinate, serve_shard, serve_shard_on, serve_shard_with, CoordinateSpec, DataPlane,
+    InProcess, ServeOptions, SocketLoopback, Transport, TransportBuilder, TransportError,
+    TransportMessage, WorkerMesh, WorkerStats,
 };
 pub use wire::{BitReader, BitWriter, WireError, WireMessage};

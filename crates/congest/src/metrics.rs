@@ -176,6 +176,21 @@ impl RunMetrics {
         }
     }
 
+    /// Total engine time *including* the transport flush, in nanoseconds.
+    ///
+    /// [`PhaseTimings::total`] covers only the three engine phases (send /
+    /// deliver / receive); the time the cross-shard transport spends sealing
+    /// and flushing frames at the send barrier is accounted separately in
+    /// [`RunMetrics::transport_flush_nanos`] — it is measured *inside* the
+    /// transport, not inside any phase window, both for the in-process
+    /// socket backends and for remote workers (whose Output frames carry
+    /// flush time in its own counter).  Socket-run totals that only look at
+    /// `phase_nanos.total()` therefore under-report; this accessor is the
+    /// documented sum to quote instead.
+    pub fn total_with_transport(&self) -> u64 {
+        self.phase_nanos.total() + self.transport_flush_nanos
+    }
+
     /// Average message size in bits (0 if no messages were sent).
     pub fn mean_message_bits(&self) -> f64 {
         if self.messages == 0 {
@@ -251,6 +266,70 @@ impl RunMetrics {
         }
         out.push_str("]}");
         out
+    }
+
+    /// Parses one JSONL row produced by [`RunMetrics::to_json`] back into
+    /// `(label, metrics)`.
+    ///
+    /// The inverse of the hand-rolled encoder, so schema drift between the
+    /// two fails a round-trip test instead of silently corrupting analyses.
+    /// Missing numeric/boolean fields default to zero/false (rows stay
+    /// parseable across versions that only add fields); a missing `label`
+    /// or a line that is not a JSON object is an error.
+    pub fn from_json(line: &str) -> Result<(String, RunMetrics), String> {
+        let v = crate::json::JsonValue::parse(line).map_err(|e| e.to_string())?;
+        if v.as_object().is_none() {
+            return Err("metrics row is not a JSON object".into());
+        }
+        let label = v
+            .get("label")
+            .and_then(|l| l.as_str())
+            .ok_or("metrics row has no \"label\" string")?
+            .to_string();
+        let u = |key: &str| v.get(key).and_then(|x| x.as_u64()).unwrap_or(0);
+        let timings = |x: &crate::json::JsonValue| PhaseTimings {
+            send: x.get("send").and_then(|n| n.as_u64()).unwrap_or(0),
+            deliver: x.get("deliver").and_then(|n| n.as_u64()).unwrap_or(0),
+            receive: x.get("receive").and_then(|n| n.as_u64()).unwrap_or(0),
+        };
+        let metrics = RunMetrics {
+            rounds: u("rounds"),
+            messages: u("messages"),
+            total_bits: u("total_bits"),
+            max_message_bits: u("max_message_bits"),
+            hit_round_cap: v
+                .get("hit_round_cap")
+                .and_then(|x| x.as_bool())
+                .unwrap_or(false),
+            active_per_round: v
+                .get("active_per_round")
+                .and_then(|x| x.as_array())
+                .map(|xs| {
+                    xs.iter()
+                        .map(|x| x.as_u64().unwrap_or(0) as usize)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            phase_nanos: v.get("phase_nanos").map(&timings).unwrap_or_default(),
+            intra_shard_messages: u("intra_shard_messages"),
+            cross_shard_messages: u("cross_shard_messages"),
+            shard_phase_nanos: v
+                .get("shard_phase_nanos")
+                .and_then(|x| x.as_array())
+                .map(|xs| xs.iter().map(&timings).collect())
+                .unwrap_or_default(),
+            wire_bytes_sent: u("wire_bytes_sent"),
+            transport_flush_nanos: u("transport_flush_nanos"),
+            syscall_batches: u("syscall_batches"),
+            faults_dropped: u("faults_dropped"),
+            faults_duplicated: u("faults_duplicated"),
+            faults_delayed: u("faults_delayed"),
+            faults_retransmitted: u("faults_retransmitted"),
+            stale_overwrites: u("stale_overwrites"),
+            peak_rss_bytes: u("peak_rss_bytes"),
+            relayed_data_bytes: u("relayed_data_bytes"),
+        };
+        Ok((label, metrics))
     }
 }
 
@@ -540,6 +619,81 @@ mod tests {
         let rss = process_peak_rss_bytes();
         assert!(rss > 0, "VmHWM should be readable on Linux");
         assert_eq!(rss % 1024, 0, "VmHWM is reported in whole kilobytes");
+    }
+
+    /// Round-trip regression: a row in which **every** field is nonzero
+    /// (complete struct literal, so new fields must join the round-trip or
+    /// fail to compile here) must come back field-for-field identical.
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let m = RunMetrics {
+            rounds: 11,
+            messages: 2,
+            total_bits: 30,
+            max_message_bits: 20,
+            hit_round_cap: true,
+            active_per_round: vec![3, 1],
+            phase_nanos: PhaseTimings {
+                send: 5,
+                deliver: 7,
+                receive: 9,
+            },
+            intra_shard_messages: 3,
+            cross_shard_messages: 4,
+            shard_phase_nanos: vec![
+                PhaseTimings {
+                    send: 1,
+                    deliver: 2,
+                    receive: 3,
+                },
+                PhaseTimings {
+                    send: 4,
+                    deliver: 5,
+                    receive: 6,
+                },
+            ],
+            wire_bytes_sent: 100,
+            transport_flush_nanos: 200,
+            syscall_batches: 300,
+            faults_dropped: 13,
+            faults_duplicated: 17,
+            faults_delayed: 19,
+            faults_retransmitted: 23,
+            stale_overwrites: 29,
+            peak_rss_bytes: u64::MAX, // survives the lossless u64 path
+            relayed_data_bytes: 37,
+        };
+        let label = "ring \"q\"\\n=3";
+        let (back_label, back) = RunMetrics::from_json(&m.to_json(label)).unwrap();
+        assert_eq!(back_label, label);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_defaults_missing_fields() {
+        assert!(RunMetrics::from_json("not json").is_err());
+        assert!(RunMetrics::from_json("[1,2]").is_err());
+        assert!(RunMetrics::from_json("{\"rounds\":1}").is_err(), "no label");
+        let (label, m) = RunMetrics::from_json("{\"label\":\"x\",\"rounds\":4}").unwrap();
+        assert_eq!(label, "x");
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.messages, 0);
+        assert!(!m.hit_round_cap);
+    }
+
+    #[test]
+    fn total_with_transport_adds_flush_time() {
+        let m = RunMetrics {
+            phase_nanos: PhaseTimings {
+                send: 5,
+                deliver: 7,
+                receive: 11,
+            },
+            transport_flush_nanos: 100,
+            ..RunMetrics::default()
+        };
+        assert_eq!(m.phase_nanos.total(), 23);
+        assert_eq!(m.total_with_transport(), 123);
     }
 
     #[test]

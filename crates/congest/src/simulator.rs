@@ -38,6 +38,7 @@ use crate::algorithm::{NodeAlgorithm, NodeContext};
 use crate::executor::{Executor, PooledExecutor, RoundState, SequentialExecutor};
 use crate::metrics::RunMetrics;
 use crate::topology::{Topology, TopologyView};
+use crate::trace::{NoTrace, TraceSink};
 
 /// How rounds are executed.
 ///
@@ -95,6 +96,7 @@ pub struct RunOutcome<O> {
 pub struct Simulator<'a, T: TopologyView = Topology> {
     topology: &'a T,
     config: SimulatorConfig,
+    tracer: &'a dyn TraceSink,
 }
 
 impl<'a, T: TopologyView> Simulator<'a, T> {
@@ -103,12 +105,27 @@ impl<'a, T: TopologyView> Simulator<'a, T> {
         Self {
             topology,
             config: SimulatorConfig::default(),
+            tracer: &NoTrace,
         }
     }
 
     /// Creates a simulator with an explicit configuration.
     pub fn with_config(topology: &'a T, config: SimulatorConfig) -> Self {
-        Self { topology, config }
+        Self {
+            topology,
+            config,
+            tracer: &NoTrace,
+        }
+    }
+
+    /// Attaches a [`TraceSink`] that receives out-of-band trace events from
+    /// every run started on this simulator.
+    ///
+    /// Tracing never changes outputs or metrics; the default [`NoTrace`]
+    /// sink is zero-cost on the hot path.
+    pub fn with_tracer(mut self, tracer: &'a dyn TraceSink) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The topology this simulator runs on.
@@ -183,6 +200,7 @@ impl<'a, T: TopologyView> Simulator<'a, T> {
             &mut state,
             self.config.max_rounds,
             &mut metrics,
+            self.tracer,
         );
 
         let outputs = nodes.iter().map(|a| a.output()).collect();
@@ -721,7 +739,15 @@ mod tests {
             node.init(ctx);
         }
         let mut metrics = RunMetrics::default();
-        ShardedExecutor::new().drive(&g, &mut gossips, &contexts, &mut state, 1000, &mut metrics);
+        ShardedExecutor::new().drive(
+            &g,
+            &mut gossips,
+            &contexts,
+            &mut state,
+            1000,
+            &mut metrics,
+            &NoTrace,
+        );
         assert_eq!(metrics.messages, 2);
 
         // Run 2 reuses the arena: pure listeners must hear *nothing*.
@@ -740,6 +766,7 @@ mod tests {
             &mut state,
             1000,
             &mut metrics,
+            &NoTrace,
         );
         assert_eq!(
             [listeners[0].output(), listeners[1].output()],

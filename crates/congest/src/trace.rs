@@ -1,0 +1,968 @@
+//! Per-round tracing: the out-of-band observability seam of the engine.
+//!
+//! Every equivalence guarantee in this crate is stated over *outputs and
+//! logical counters*; a run's internal shape — how fast the active set
+//! drains, which shard's receive phase is the straggler, when the transport
+//! flushed — was invisible until now.  This module adds a [`TraceSink`]
+//! seam that the executors, the transport layer and the fault injector
+//! report into, **strictly out-of-band**: sinks observe the run, they can
+//! never influence it, so attaching one leaves every output and metric
+//! bit-for-bit unchanged (asserted in `tests/executor_equivalence.rs`).
+//!
+//! # Cost model
+//!
+//! The default sink is [`NoTrace`]: [`TraceSink::enabled`] returns `false`
+//! and every executor hoists that check out of its round loop, so a
+//! disabled run performs **no event construction, no allocation and no
+//! synchronization** on behalf of tracing — the per-*message* hot path is
+//! never instrumented at all (events are per round × shard, a vanishing
+//! fraction of the work).  Enabled sinks pay one mutex lock per event.
+//!
+//! # Event taxonomy
+//!
+//! [`TraceEvent`] covers five families, all `Copy` and stack-only:
+//!
+//! * **run lifecycle** — `RunStart` / `RunEnd`;
+//! * **round lifecycle** — `RoundStart` / `RoundEnd` (with the round's
+//!   wall-clock nanos and active-set size);
+//! * **phases** — `PhaseStart` / `PhaseEnd` per engine phase per shard,
+//!   plus the per-shard transport points `ShardFlush` / `ShardDrain` and
+//!   the per-shard per-round traffic summary `ShardRound`;
+//! * **faults** — one `Fault` per injected event of a
+//!   [`FaultyTransport`](crate::faults::FaultyTransport), mirroring its
+//!   replayable log;
+//! * **workers** — `WorkerStart` / `WorkerEnd` lifecycle of the sharded
+//!   executor's per-shard workers.
+//!
+//! # Shipped sinks
+//!
+//! * [`RoundSeries`] — accumulates one [`RoundRow`] per round (wall-clock,
+//!   active set, message/bit/cross-shard traffic, wire bytes) and
+//!   serializes them as JSONL rows beside the existing
+//!   [`RunMetrics`](crate::RunMetrics) rows, plus p50/p95/max round-time
+//!   summaries.
+//! * [`ChromeTraceSink`] — records Chrome trace-event JSON (one process
+//!   track per shard, phase slices, counter tracks) loadable directly in
+//!   Perfetto or `chrome://tracing`; see the `exp_trace` binary.
+//! * [`RecordingSink`] — keeps the raw events for tests.
+//! * [`Fanout`] — feeds several sinks at once.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::faults::FaultKind;
+use crate::json::JsonValue;
+use crate::metrics::{json_escape_into, JsonLinesWriter};
+
+/// An engine phase, as seen by phase-level trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Asking active nodes for their outboxes (plus intra-shard routing in
+    /// the sharded executor).
+    Send,
+    /// Clearing last round's slots and writing messages into the arena.
+    Deliver,
+    /// Handing inboxes to active nodes and compacting the active set.
+    Receive,
+}
+
+impl TracePhase {
+    /// Stable lower-case name, used as the slice name in trace files.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Send => "send",
+            TracePhase::Deliver => "deliver",
+            TracePhase::Receive => "receive",
+        }
+    }
+}
+
+/// One out-of-band observation of a run.  Stack-only (`Copy`), so emitting
+/// an event never allocates.
+///
+/// `shard` is the reporting shard for sharded runs; the sequential and
+/// pooled executors report as shard 0.  All durations are nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A run began: node count and shard count (1 for unsharded executors).
+    RunStart {
+        /// Number of nodes in the topology.
+        nodes: usize,
+        /// Number of shards (1 for the sequential / pooled executors).
+        shards: usize,
+    },
+    /// A run finished after `rounds` synchronous rounds.
+    RunEnd {
+        /// Rounds executed.
+        rounds: u64,
+    },
+    /// A round was admitted with `active` nodes still running.
+    RoundStart {
+        /// The round number (0-based).
+        round: u64,
+        /// Active nodes at the start of the round.
+        active: usize,
+    },
+    /// A round completed; `active` is the post-compaction count.
+    RoundEnd {
+        /// The round number (0-based).
+        round: u64,
+        /// Active nodes remaining after the round.
+        active: usize,
+        /// Wall-clock nanoseconds the round took.
+        nanos: u64,
+    },
+    /// A phase began on a shard.
+    PhaseStart {
+        /// The round number.
+        round: u64,
+        /// The reporting shard.
+        shard: usize,
+        /// Which phase.
+        phase: TracePhase,
+    },
+    /// A phase completed on a shard, taking `nanos` wall-clock nanoseconds.
+    PhaseEnd {
+        /// The round number.
+        round: u64,
+        /// The reporting shard.
+        shard: usize,
+        /// Which phase.
+        phase: TracePhase,
+        /// Wall-clock nanoseconds spent in the phase.
+        nanos: u64,
+    },
+    /// A shard flushed its staged cross-shard batches at the send barrier.
+    ShardFlush {
+        /// The round number.
+        round: u64,
+        /// The flushing shard.
+        shard: usize,
+        /// Wire bytes the flush produced (0 for in-memory backends).
+        wire_bytes: u64,
+        /// Wall-clock nanoseconds the flush took.
+        nanos: u64,
+    },
+    /// A shard drained its incoming cross-shard channels.
+    ShardDrain {
+        /// The round number.
+        round: u64,
+        /// The draining shard.
+        shard: usize,
+        /// Wall-clock nanoseconds the drain took.
+        nanos: u64,
+    },
+    /// Per-shard traffic summary of one round (charged at the sender).
+    ShardRound {
+        /// The round number.
+        round: u64,
+        /// The sending shard.
+        shard: usize,
+        /// Messages this shard sent this round.
+        messages: u64,
+        /// Bits this shard sent this round.
+        bits: u64,
+        /// How many of those messages crossed a shard boundary.
+        cross: u64,
+    },
+    /// A fault was injected on the `from → to` shard channel; mirrors the
+    /// [`FaultLog`](crate::faults::FaultyTransport::log) entry.
+    Fault {
+        /// The round the fault decision was made in.
+        round: u64,
+        /// Sending shard of the affected message.
+        from: usize,
+        /// Receiving shard of the affected message.
+        to: usize,
+        /// What the fault did.
+        kind: FaultKind,
+    },
+    /// A sharded worker thread started serving its shard.
+    WorkerStart {
+        /// The shard the worker owns.
+        shard: usize,
+    },
+    /// A sharded worker thread finished (all rounds done or poisoned).
+    WorkerEnd {
+        /// The shard the worker owned.
+        shard: usize,
+    },
+}
+
+/// A sink for out-of-band trace events.
+///
+/// Implementations must be `Sync` — the sharded executor's workers emit
+/// concurrently — and must treat events as *observations only*: a sink can
+/// never feed information back into the run, which is what keeps traced and
+/// untraced runs bit-for-bit identical.
+///
+/// Executors hoist [`TraceSink::enabled`] out of their loops, so a sink
+/// that reports `false` (the [`NoTrace`] default) costs nothing per round.
+pub trait TraceSink: Sync {
+    /// Whether this sink wants events at all.  Checked once per run (and
+    /// hoisted out of hot loops); `false` skips event construction
+    /// entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.  May be called concurrently from worker threads;
+    /// events from one shard arrive in order, events of different shards
+    /// interleave nondeterministically (they are concurrent in reality).
+    fn emit(&self, event: &TraceEvent);
+}
+
+/// The default sink: tracing disabled, every emission skipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// Feeds every event to several sinks (skipping disabled ones).
+pub struct Fanout<'a> {
+    sinks: &'a [&'a dyn TraceSink],
+}
+
+impl std::fmt::Debug for Fanout<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl<'a> Fanout<'a> {
+    /// A fanout over `sinks`; disabled members are skipped per event.
+    pub fn new(sinks: &'a [&'a dyn TraceSink]) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for Fanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn emit(&self, event: &TraceEvent) {
+        for sink in self.sinks {
+            if sink.enabled() {
+                sink.emit(event);
+            }
+        }
+    }
+}
+
+/// A sink that simply keeps every event — the test instrument.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recorded events, leaving the recorder empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn emit(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*event);
+    }
+}
+
+/// One row of the per-round time series accumulated by [`RoundSeries`].
+///
+/// Traffic counters are summed over all shards that reported the round;
+/// `wall_nanos` is the engine's round wall-clock (coordinator-measured for
+/// threaded executors).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRow {
+    /// The round number (0-based).
+    pub round: u64,
+    /// Active nodes at the start of the round.
+    pub active: u64,
+    /// Wall-clock nanoseconds the round took.
+    pub wall_nanos: u64,
+    /// Messages sent in the round (all shards).
+    pub messages: u64,
+    /// Bits sent in the round (all shards).
+    pub bits: u64,
+    /// Messages that crossed a shard boundary.
+    pub cross_messages: u64,
+    /// Wire bytes flushed by the transport (0 for in-memory backends).
+    pub wire_bytes: u64,
+}
+
+impl RoundRow {
+    /// Renders the row as one JSON object, tagged `"kind":"round_series"`
+    /// so consumers can tell it apart from `RunMetrics` rows in a shared
+    /// JSONL stream.  Fields are only ever added, matching the JSONL
+    /// schema contract in `dcme_bench`.
+    pub fn to_json(&self, label: &str) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"kind\":\"round_series\",\"label\":\"");
+        json_escape_into(&mut out, label);
+        out.push('"');
+        out.push_str(&format!(",\"round\":{}", self.round));
+        out.push_str(&format!(",\"active\":{}", self.active));
+        out.push_str(&format!(",\"wall_nanos\":{}", self.wall_nanos));
+        out.push_str(&format!(",\"messages\":{}", self.messages));
+        out.push_str(&format!(",\"bits\":{}", self.bits));
+        out.push_str(&format!(",\"cross_messages\":{}", self.cross_messages));
+        out.push_str(&format!(",\"wire_bytes\":{}", self.wire_bytes));
+        out.push('}');
+        out
+    }
+
+    /// Parses a row emitted by [`RoundRow::to_json`] back into the label
+    /// and the row.  Unknown keys are ignored and missing counters default
+    /// to 0 (the add-only schema contract); a wrong or missing `kind` tag
+    /// is an error.
+    pub fn from_json(line: &str) -> Result<(String, RoundRow), String> {
+        let v = JsonValue::parse(line).map_err(|e| e.to_string())?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("round_series") {
+            return Err("not a round_series row (missing kind tag)".to_string());
+        }
+        let label = v
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let u = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        Ok((
+            label,
+            RoundRow {
+                round: u("round"),
+                active: u("active"),
+                wall_nanos: u("wall_nanos"),
+                messages: u("messages"),
+                bits: u("bits"),
+                cross_messages: u("cross_messages"),
+                wire_bytes: u("wire_bytes"),
+            },
+        ))
+    }
+}
+
+/// Round-time distribution summary of a [`RoundSeries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeriesSummary {
+    /// Number of rounds observed.
+    pub rounds: u64,
+    /// Median round wall-clock, nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile round wall-clock, nanoseconds.
+    pub p95_nanos: u64,
+    /// Slowest round wall-clock, nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// A sink accumulating the per-round time series: one [`RoundRow`] per
+/// round, merged across shards, serializable as JSONL beside
+/// [`RunMetrics`](crate::RunMetrics) rows.
+#[derive(Debug)]
+pub struct RoundSeries {
+    rows: Mutex<Vec<RoundRow>>,
+}
+
+impl Default for RoundSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self {
+            rows: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A copy of the accumulated rows, in round order.
+    pub fn rows(&self) -> Vec<RoundRow> {
+        self.rows.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// p50/p95/max of the round wall-clock times observed so far.
+    pub fn summary(&self) -> SeriesSummary {
+        let rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
+        let mut nanos: Vec<u64> = rows.iter().map(|r| r.wall_nanos).collect();
+        if nanos.is_empty() {
+            return SeriesSummary::default();
+        }
+        nanos.sort_unstable();
+        let pick = |p: f64| nanos[((nanos.len() - 1) as f64 * p).round() as usize];
+        SeriesSummary {
+            rounds: nanos.len() as u64,
+            p50_nanos: pick(0.50),
+            p95_nanos: pick(0.95),
+            max_nanos: *nanos.last().expect("nonempty"),
+        }
+    }
+
+    /// Appends every row to a JSONL sink, tagged with `label`.
+    pub fn write_jsonl<W: std::io::Write>(
+        &self,
+        label: &str,
+        out: &mut JsonLinesWriter<W>,
+    ) -> std::io::Result<()> {
+        for row in self.rows() {
+            out.append_raw(&row.to_json(label))?;
+        }
+        Ok(())
+    }
+
+    fn with_row(&self, round: u64, f: impl FnOnce(&mut RoundRow)) {
+        let mut rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = round as usize;
+        while rows.len() <= idx {
+            let round = rows.len() as u64;
+            rows.push(RoundRow {
+                round,
+                ..RoundRow::default()
+            });
+        }
+        f(&mut rows[idx]);
+    }
+}
+
+impl TraceSink for RoundSeries {
+    fn emit(&self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::RoundStart { round, active } => {
+                self.with_row(round, |r| r.active = active as u64);
+            }
+            TraceEvent::RoundEnd { round, nanos, .. } => {
+                self.with_row(round, |r| r.wall_nanos = nanos);
+            }
+            TraceEvent::ShardRound {
+                round,
+                messages,
+                bits,
+                cross,
+                ..
+            } => {
+                self.with_row(round, |r| {
+                    r.messages += messages;
+                    r.bits += bits;
+                    r.cross_messages += cross;
+                });
+            }
+            TraceEvent::ShardFlush {
+                round, wire_bytes, ..
+            } => {
+                self.with_row(round, |r| r.wire_bytes += wire_bytes);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// An event stamped with its emission time (µs since the sink's epoch).
+#[derive(Debug, Clone, Copy)]
+struct Stamped {
+    at_us: f64,
+    event: TraceEvent,
+}
+
+/// A sink recording Chrome trace-event JSON — the format Perfetto and
+/// `chrome://tracing` load natively.
+///
+/// Track layout: pid 0 is the engine (round slices + an `active_nodes`
+/// counter track); pid `s + 1` is shard `s` (phase slices, flush/drain
+/// slices, per-shard traffic counters, fault instants).  Durations come
+/// from the engine's own phase timers; begin timestamps are reconstructed
+/// as `emission time − duration`, which is exact because every duration is
+/// measured immediately before its event is emitted.
+///
+/// Write the collected trace with [`ChromeTraceSink::write_json`]; the
+/// `exp_trace` binary in `dcme_bench` is the command-line front end.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    epoch: Instant,
+    inner: Mutex<ChromeInner>,
+}
+
+#[derive(Debug)]
+struct ChromeInner {
+    events: Vec<Stamped>,
+    shards: usize,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceSink {
+    /// An empty trace; the epoch (trace time 0) is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(ChromeInner {
+                events: Vec::new(),
+                shards: 0,
+            }),
+        }
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the collected events as a Chrome trace-event JSON object
+    /// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub fn write_json<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut first = true;
+        let sep = |w: &mut W, first: &mut bool| -> std::io::Result<()> {
+            if *first {
+                *first = false;
+                Ok(())
+            } else {
+                w.write_all(b",")
+            }
+        };
+        // Process-name metadata: one named track per pid.
+        sep(w, &mut first)?;
+        w.write_all(
+            b"{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"engine\"}}",
+        )?;
+        for s in 0..inner.shards.max(1) {
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"shard {s}\"}}}}",
+                s + 1
+            )?;
+        }
+        for st in &inner.events {
+            let at = st.at_us;
+            match st.event {
+                TraceEvent::RunStart { nodes, shards } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"run_start\",\"ph\":\"i\",\"ts\":{at:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{\"nodes\":{nodes},\"shards\":{shards}}}}}"
+                    )?;
+                }
+                TraceEvent::RunEnd { rounds } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"run_end\",\"ph\":\"i\",\"ts\":{at:.3},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{\"rounds\":{rounds}}}}}"
+                    )?;
+                }
+                TraceEvent::RoundStart { round, active } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"active_nodes\",\"ph\":\"C\",\"ts\":{at:.3},\"pid\":0,\"tid\":0,\"args\":{{\"active\":{active}}}}}",
+                    )?;
+                    let _ = round;
+                }
+                TraceEvent::RoundEnd {
+                    round,
+                    active,
+                    nanos,
+                } => {
+                    let dur = nanos as f64 / 1000.0;
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"round\",\"cat\":\"round\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":0,\"tid\":0,\"args\":{{\"round\":{round},\"active_after\":{active}}}}}",
+                        at - dur
+                    )?;
+                }
+                TraceEvent::PhaseStart { .. } => {}
+                TraceEvent::PhaseEnd {
+                    round,
+                    shard,
+                    phase,
+                    nanos,
+                } => {
+                    let dur = nanos as f64 / 1000.0;
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":{},\"tid\":0,\"args\":{{\"round\":{round}}}}}",
+                        phase.name(),
+                        at - dur,
+                        shard + 1
+                    )?;
+                }
+                TraceEvent::ShardFlush {
+                    round,
+                    shard,
+                    wire_bytes,
+                    nanos,
+                } => {
+                    let dur = nanos as f64 / 1000.0;
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"flush\",\"cat\":\"transport\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":{},\"tid\":0,\"args\":{{\"round\":{round},\"wire_bytes\":{wire_bytes}}}}}",
+                        at - dur,
+                        shard + 1
+                    )?;
+                }
+                TraceEvent::ShardDrain {
+                    round,
+                    shard,
+                    nanos,
+                } => {
+                    let dur = nanos as f64 / 1000.0;
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"drain\",\"cat\":\"transport\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":{},\"tid\":0,\"args\":{{\"round\":{round}}}}}",
+                        at - dur,
+                        shard + 1
+                    )?;
+                }
+                TraceEvent::ShardRound {
+                    round,
+                    shard,
+                    messages,
+                    bits,
+                    cross,
+                } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"traffic\",\"ph\":\"C\",\"ts\":{at:.3},\"pid\":{},\"tid\":0,\"args\":{{\"messages\":{messages},\"bits\":{bits},\"cross\":{cross}}}}}",
+                        shard + 1
+                    )?;
+                    let _ = round;
+                }
+                TraceEvent::Fault {
+                    round,
+                    from,
+                    to,
+                    kind,
+                } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{at:.3},\"pid\":{},\"tid\":0,\"s\":\"p\",\"args\":{{\"round\":{round},\"to\":{to}}}}}",
+                        fault_name(kind),
+                        from + 1
+                    )?;
+                }
+                TraceEvent::WorkerStart { shard } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"worker_start\",\"ph\":\"i\",\"ts\":{at:.3},\"pid\":{},\"tid\":0,\"s\":\"p\"}}",
+                        shard + 1
+                    )?;
+                }
+                TraceEvent::WorkerEnd { shard } => {
+                    sep(w, &mut first)?;
+                    write!(
+                        w,
+                        "{{\"name\":\"worker_end\",\"ph\":\"i\",\"ts\":{at:.3},\"pid\":{},\"tid\":0,\"s\":\"p\"}}",
+                        shard + 1
+                    )?;
+                }
+            }
+        }
+        w.write_all(b"]}")
+    }
+}
+
+/// The stable trace name of a fault kind.
+fn fault_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Dropped => "fault_dropped",
+        FaultKind::Duplicated => "fault_duplicated",
+        FaultKind::Delayed { .. } => "fault_delayed",
+        FaultKind::Retransmitted => "fault_retransmitted",
+        FaultKind::PartitionDropped => "fault_partition_dropped",
+        FaultKind::PartitionDeferred { .. } => "fault_partition_deferred",
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn emit(&self, event: &TraceEvent) {
+        let at_us = self.epoch.elapsed().as_nanos() as f64 / 1000.0;
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let TraceEvent::RunStart { shards, .. } = *event {
+            inner.shards = inner.shards.max(shards);
+        }
+        inner.events.push(Stamped {
+            at_us,
+            event: *event,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trace_is_disabled() {
+        assert!(!NoTrace.enabled());
+        NoTrace.emit(&TraceEvent::RunEnd { rounds: 1 }); // must be a no-op
+    }
+
+    #[test]
+    fn recording_sink_keeps_events_in_order() {
+        let rec = RecordingSink::new();
+        assert!(rec.is_empty());
+        rec.emit(&TraceEvent::RunStart {
+            nodes: 3,
+            shards: 1,
+        });
+        rec.emit(&TraceEvent::RunEnd { rounds: 2 });
+        assert_eq!(rec.len(), 2);
+        let events = rec.take();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::RunStart {
+                    nodes: 3,
+                    shards: 1
+                },
+                TraceEvent::RunEnd { rounds: 2 },
+            ]
+        );
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn fanout_feeds_enabled_sinks_and_skips_disabled_ones() {
+        let a = RecordingSink::new();
+        let b = RecordingSink::new();
+        let off = NoTrace;
+        let sinks: [&dyn TraceSink; 3] = [&a, &off, &b];
+        let fan = Fanout::new(&sinks);
+        assert!(fan.enabled());
+        fan.emit(&TraceEvent::RunEnd { rounds: 7 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+
+        let only_off: [&dyn TraceSink; 1] = [&off];
+        assert!(!Fanout::new(&only_off).enabled());
+    }
+
+    #[test]
+    fn round_series_accumulates_and_summarizes() {
+        let series = RoundSeries::new();
+        // Round 1 reported before round 0 ever gets a start — rows grow.
+        series.emit(&TraceEvent::RoundStart {
+            round: 0,
+            active: 5,
+        });
+        series.emit(&TraceEvent::ShardRound {
+            round: 0,
+            shard: 0,
+            messages: 4,
+            bits: 40,
+            cross: 1,
+        });
+        series.emit(&TraceEvent::ShardRound {
+            round: 0,
+            shard: 1,
+            messages: 6,
+            bits: 60,
+            cross: 2,
+        });
+        series.emit(&TraceEvent::ShardFlush {
+            round: 0,
+            shard: 1,
+            wire_bytes: 99,
+            nanos: 5,
+        });
+        series.emit(&TraceEvent::RoundEnd {
+            round: 0,
+            active: 3,
+            nanos: 1000,
+        });
+        series.emit(&TraceEvent::RoundStart {
+            round: 1,
+            active: 3,
+        });
+        series.emit(&TraceEvent::RoundEnd {
+            round: 1,
+            active: 0,
+            nanos: 3000,
+        });
+        let rows = series.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            RoundRow {
+                round: 0,
+                active: 5,
+                wall_nanos: 1000,
+                messages: 10,
+                bits: 100,
+                cross_messages: 3,
+                wire_bytes: 99,
+            }
+        );
+        assert_eq!(rows[1].active, 3);
+        let s = series.summary();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.max_nanos, 3000);
+        assert!(s.p50_nanos == 1000 || s.p50_nanos == 3000);
+        assert_eq!(s.p95_nanos, 3000);
+    }
+
+    #[test]
+    fn round_row_json_round_trips() {
+        let row = RoundRow {
+            round: 3,
+            active: 17,
+            wall_nanos: 12345,
+            messages: 99,
+            bits: 1980,
+            cross_messages: 7,
+            wire_bytes: 512,
+        };
+        let line = row.to_json("trace \"x\"");
+        let (label, parsed) = RoundRow::from_json(&line).unwrap();
+        assert_eq!(label, "trace \"x\"");
+        assert_eq!(parsed, row);
+        // A RunMetrics row must be rejected (wrong kind).
+        assert!(RoundRow::from_json("{\"label\":\"x\",\"rounds\":1}").is_err());
+    }
+
+    #[test]
+    fn round_series_jsonl_lines_parse_back() {
+        let series = RoundSeries::new();
+        series.emit(&TraceEvent::RoundStart {
+            round: 0,
+            active: 2,
+        });
+        series.emit(&TraceEvent::RoundEnd {
+            round: 0,
+            active: 0,
+            nanos: 10,
+        });
+        let mut out = JsonLinesWriter::new(Vec::new());
+        series.write_jsonl("lbl", &mut out).unwrap();
+        let buf = String::from_utf8(out.into_inner()).unwrap();
+        let lines: Vec<&str> = buf.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let (label, row) = RoundRow::from_json(lines[0]).unwrap();
+        assert_eq!(label, "lbl");
+        assert_eq!(row.active, 2);
+        assert_eq!(row.wall_nanos, 10);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_per_shard_tracks() {
+        let sink = ChromeTraceSink::new();
+        sink.emit(&TraceEvent::RunStart {
+            nodes: 10,
+            shards: 2,
+        });
+        sink.emit(&TraceEvent::RoundStart {
+            round: 0,
+            active: 10,
+        });
+        sink.emit(&TraceEvent::PhaseEnd {
+            round: 0,
+            shard: 0,
+            phase: TracePhase::Send,
+            nanos: 2500,
+        });
+        sink.emit(&TraceEvent::ShardFlush {
+            round: 0,
+            shard: 1,
+            wire_bytes: 64,
+            nanos: 700,
+        });
+        sink.emit(&TraceEvent::ShardDrain {
+            round: 0,
+            shard: 1,
+            nanos: 300,
+        });
+        sink.emit(&TraceEvent::Fault {
+            round: 0,
+            from: 0,
+            to: 1,
+            kind: FaultKind::Dropped,
+        });
+        sink.emit(&TraceEvent::RoundEnd {
+            round: 0,
+            active: 0,
+            nanos: 4000,
+        });
+        sink.emit(&TraceEvent::RunEnd { rounds: 1 });
+        assert_eq!(sink.len(), 8);
+
+        let mut buf = Vec::new();
+        sink.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = JsonValue::parse(&text).expect("trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut pids = std::collections::BTreeSet::new();
+        let mut nonzero_slices = 0;
+        for e in events {
+            assert!(e.get("ph").and_then(JsonValue::as_str).is_some());
+            assert!(e.get("ts").and_then(JsonValue::as_f64).is_some());
+            let pid = e.get("pid").and_then(JsonValue::as_u64).expect("pid");
+            pids.insert(pid);
+            if e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                && e.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0) > 0.0
+            {
+                nonzero_slices += 1;
+            }
+        }
+        // One engine track + one track per shard.
+        assert!(pids.contains(&0) && pids.contains(&1) && pids.contains(&2));
+        assert!(
+            nonzero_slices >= 3,
+            "send/flush/drain/round slices expected"
+        );
+        // Fault instants land on the sending shard's track.
+        assert!(text.contains("\"fault_dropped\""));
+    }
+}

@@ -1233,6 +1233,85 @@ where
     serve_shard_on(link, topology, shard, nodes, &mut DataPlane::Relay)
 }
 
+/// Optional behaviours of a worker's round loop ([`serve_shard_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Emit a [`Stats`](FrameKind::Stats) telemetry frame every this many
+    /// rounds (immediately before that round's vote).  `0` — the default —
+    /// never sends one, keeping the wire protocol byte-identical to
+    /// pre-telemetry workers.
+    pub stats_every: u64,
+}
+
+/// One worker's periodic telemetry snapshot, carried by a
+/// [`Stats`](FrameKind::Stats) frame.
+///
+/// Strictly out-of-band: the coordinator renders it (or ignores it) without
+/// any effect on round decisions, outputs or merged metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The reporting shard.
+    pub shard: usize,
+    /// Rounds completed by the worker so far.
+    pub round: u64,
+    /// The shard's active node count after its latest receive phase.
+    pub active: u64,
+    /// Cumulative wire bytes the worker has sent.
+    pub wire_bytes: u64,
+    /// The worker process's peak RSS at snapshot time, in bytes (0 when
+    /// unavailable; see [`crate::metrics::process_peak_rss_bytes`]).
+    pub peak_rss_bytes: u64,
+    /// Wall-clock nanoseconds since the worker entered its round loop.
+    pub elapsed_nanos: u64,
+}
+
+impl WorkerStats {
+    /// Round throughput since the worker started, in rounds per second.
+    pub fn round_rate(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.round as f64 * 1e9 / self.elapsed_nanos as f64
+        }
+    }
+}
+
+fn write_stats(link: &mut impl Write, from: u16, stats: &WorkerStats) -> std::io::Result<()> {
+    let mut payload = Vec::with_capacity(40);
+    for v in [
+        stats.round,
+        stats.active,
+        stats.wire_bytes,
+        stats.peak_rss_bytes,
+        stats.elapsed_nanos,
+    ] {
+        put_u64(&mut payload, v);
+    }
+    write_frame(
+        link,
+        FrameHeader {
+            kind: FrameKind::Stats,
+            round: stats.round,
+            from,
+            to: COORDINATOR,
+        },
+        &payload,
+    )?;
+    Ok(())
+}
+
+fn parse_stats(frame: &Frame) -> std::io::Result<WorkerStats> {
+    let p = &frame.payload;
+    Ok(WorkerStats {
+        shard: frame.header.from as usize,
+        round: get_u64(p, 0)?,
+        active: get_u64(p, 8)?,
+        wire_bytes: get_u64(p, 16)?,
+        peak_rss_bytes: get_u64(p, 24)?,
+        elapsed_nanos: get_u64(p, 32)?,
+    })
+}
+
 /// Serves one shard of a simulation over a blocking link to the coordinator,
 /// moving data frames over the given [`DataPlane`].
 ///
@@ -1267,8 +1346,39 @@ pub fn serve_shard_on<A: NodeAlgorithm, L: Read + Write, T: ShardTopologyView>(
     link: &mut L,
     topology: &T,
     shard: usize,
+    nodes: Vec<A>,
+    data: &mut DataPlane,
+) -> std::io::Result<()>
+where
+    A::Output: WireMessage,
+{
+    serve_shard_with(link, topology, shard, nodes, data, &ServeOptions::default())
+}
+
+/// [`serve_shard_on`] with explicit [`ServeOptions`] — the full-surface
+/// entry point; the other two `serve_shard*` functions are shorthands for
+/// default options.
+///
+/// With a nonzero [`ServeOptions::stats_every`] the worker additionally
+/// emits a [`Stats`](FrameKind::Stats) frame every `k` rounds, immediately
+/// before that round's vote on the same ordered link — pure telemetry that
+/// changes no round decision, output or merged counter.
+///
+/// # Errors
+///
+/// Propagates link I/O failures and protocol violations as `io::Error`.
+///
+/// # Panics
+///
+/// Panics on CONGEST contract violations by the algorithm (double-send on a
+/// port), exactly like the in-process executors.
+pub fn serve_shard_with<A: NodeAlgorithm, L: Read + Write, T: ShardTopologyView>(
+    link: &mut L,
+    topology: &T,
+    shard: usize,
     mut nodes: Vec<A>,
     data: &mut DataPlane,
+    opts: &ServeOptions,
 ) -> std::io::Result<()>
 where
     A::Output: WireMessage,
@@ -1312,6 +1422,7 @@ where
     // Initial halting vote: the active count before round 0.
     write_vote(link, 0, me, active.len() as u64)?;
 
+    let epoch = Instant::now();
     let mut round: u64 = 0;
     loop {
         let frame = read_frame(link)?;
@@ -1434,6 +1545,20 @@ where
         active.retain(|&v| !nodes[v - node_range.start].is_halted());
         report.timings.receive += t.elapsed().as_nanos() as u64;
         round += 1;
+        if opts.stats_every > 0 && round % opts.stats_every == 0 {
+            write_stats(
+                link,
+                me,
+                &WorkerStats {
+                    shard,
+                    round,
+                    active: active.len() as u64,
+                    wire_bytes: report.wire_bytes,
+                    peak_rss_bytes: crate::metrics::process_peak_rss_bytes(),
+                    elapsed_nanos: epoch.elapsed().as_nanos() as u64,
+                },
+            )?;
+        }
         write_vote(link, round, me, active.len() as u64)?;
     }
 
@@ -1502,6 +1627,11 @@ pub struct CoordinateSpec {
     /// [`WorkerMesh`] and the coordinator skips its collect/relay phases,
     /// carrying only control frames.
     pub mesh: bool,
+    /// When true, incoming [`Stats`](FrameKind::Stats) telemetry frames are
+    /// rendered as `heartbeat:` lines on stderr.  Stats frames are consumed
+    /// (and validated) either way, so a worker running with a nonzero
+    /// [`ServeOptions::stats_every`] works against a silent coordinator.
+    pub progress: bool,
 }
 
 /// Drives a multi-process run from the coordinator side: one blocking link
@@ -1629,7 +1759,28 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
         let t = Instant::now();
         round += 1;
         for (s, link) in links.iter_mut().enumerate() {
-            let frame = read_frame(link)?;
+            // A worker may precede its vote with one out-of-band Stats
+            // frame; the link is ordered, so telemetry can only appear here.
+            let frame = loop {
+                let frame = read_frame(link)?;
+                if frame.header.kind != FrameKind::Stats {
+                    break frame;
+                }
+                frame.header.expect(round, s as u16, COORDINATOR)?;
+                let stats = parse_stats(&frame)?;
+                if spec.progress {
+                    eprintln!(
+                        "heartbeat: shard {} round {} active {} wire_bytes {} rss_bytes {} \
+                         {:.1} rounds/s",
+                        stats.shard,
+                        stats.round,
+                        stats.active,
+                        stats.wire_bytes,
+                        stats.peak_rss_bytes,
+                        stats.round_rate(),
+                    );
+                }
+            };
             if frame.header.kind != FrameKind::Vote {
                 return Err(protocol_error("expected a vote frame"));
             }
@@ -1906,6 +2057,7 @@ mod tests {
                     shards,
                     max_rounds: 1_000_000,
                     mesh: false,
+                    progress: false,
                 };
                 coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
             });
@@ -1929,6 +2081,66 @@ mod tests {
                 assert_eq!(out.metrics.relayed_data_bytes, 0);
             }
         }
+    }
+
+    /// Telemetry is out-of-band: a run whose workers emit a Stats frame
+    /// every single round produces outputs and logical counters identical
+    /// to the sequential reference — the coordinator consumes the frames
+    /// without letting them near a round decision.
+    #[cfg(unix)]
+    #[test]
+    fn stats_frames_are_out_of_band() {
+        let n = 19;
+        let shards = 3;
+        let dense = ring(n);
+        let seq = Simulator::new(&dense).run(mk(n));
+        let g = ShardedTopology::from_topology(&dense, shards).unwrap();
+        let mut coordinator_links = Vec::new();
+        let mut worker_ends = Vec::new();
+        for _ in 0..shards {
+            let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+            coordinator_links.push(c);
+            worker_ends.push(w);
+        }
+        let out = std::thread::scope(|scope| {
+            for (shard, mut link) in worker_ends.drain(..).enumerate() {
+                let g = &g;
+                scope.spawn(move || {
+                    let range = g.shard_nodes(shard);
+                    let nodes: Vec<Gossip> =
+                        range.map(|v| Gossip::new(1 + (v as u64 % 5))).collect();
+                    serve_shard_with(
+                        &mut link,
+                        g,
+                        shard,
+                        nodes,
+                        &mut DataPlane::Relay,
+                        &ServeOptions { stats_every: 1 },
+                    )
+                    .expect("worker");
+                });
+            }
+            let spec = CoordinateSpec {
+                num_nodes: n,
+                shards,
+                max_rounds: 1_000_000,
+                mesh: false,
+                progress: false,
+            };
+            coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
+        });
+        assert_logically_equal(&seq, &out, "remote+stats");
+    }
+
+    #[test]
+    fn worker_stats_round_rate() {
+        let stats = WorkerStats {
+            round: 100,
+            elapsed_nanos: 2_000_000_000,
+            ..WorkerStats::default()
+        };
+        assert!((stats.round_rate() - 50.0).abs() < 1e-9);
+        assert_eq!(WorkerStats::default().round_rate(), 0.0);
     }
 
     /// The mesh data plane: workers build only their own shard slice from
@@ -1994,6 +2206,7 @@ mod tests {
                     shards,
                     max_rounds: 1_000_000,
                     mesh: true,
+                    progress: false,
                 };
                 coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
             });
@@ -2066,6 +2279,7 @@ mod tests {
                     shards,
                     max_rounds: 1_000_000,
                     mesh,
+                    progress: false,
                 };
                 coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
             })
@@ -2105,6 +2319,7 @@ mod tests {
                 shards: 2,
                 max_rounds: 4,
                 mesh: false,
+                progress: false,
             };
             coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
         });

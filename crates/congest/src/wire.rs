@@ -41,9 +41,11 @@
 //!   `RoundStart` (coordinator → worker round decision / stop signal),
 //!   `Vote` (worker → coordinator halting vote: the shard's active count),
 //!   `Output` (worker → coordinator final outputs + counters),
-//!   `Topology` (coordinator → worker pass-1 shard-plan chunk) and
-//!   `Peers` (mesh address exchange) for the scale-out handshake
-//!   (see `transport`).
+//!   `Topology` (coordinator → worker pass-1 shard-plan chunk),
+//!   `Peers` (mesh address exchange) for the scale-out handshake and
+//!   `Stats` (worker → coordinator periodic telemetry snapshot, strictly
+//!   out-of-band: sent just before a `Vote`, never affecting round
+//!   decisions) — see `transport`.
 //! * `round` — every frame is stamped with the round it belongs to;
 //!   receivers reject out-of-sequence frames with
 //!   [`WireError::RoundMismatch`].
@@ -450,6 +452,12 @@ pub enum FrameKind {
     /// worker announces its mesh listener to the coordinator, and the
     /// coordinator broadcasts the full `shard → address` list back.
     Peers,
+    /// Worker → coordinator: a periodic telemetry snapshot (round progress,
+    /// active count, wire bytes, peak RSS, elapsed time).  Strictly
+    /// out-of-band — emitted every `stats_every` rounds immediately before
+    /// that round's `Vote`, consumed and rendered by the coordinator without
+    /// influencing any round decision.
+    Stats,
 }
 
 impl FrameKind {
@@ -461,6 +469,7 @@ impl FrameKind {
             FrameKind::Output => 3,
             FrameKind::Topology => 4,
             FrameKind::Peers => 5,
+            FrameKind::Stats => 6,
         }
     }
 
@@ -472,6 +481,7 @@ impl FrameKind {
             3 => Ok(FrameKind::Output),
             4 => Ok(FrameKind::Topology),
             5 => Ok(FrameKind::Peers),
+            6 => Ok(FrameKind::Stats),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -856,9 +866,9 @@ mod tests {
 
     #[test]
     fn handshake_frame_kinds_round_trip() {
-        // The scale-out handshake kinds (Topology, Peers) travel through the
-        // same codec as the round-loop kinds.
-        for kind in [FrameKind::Topology, FrameKind::Peers] {
+        // The scale-out handshake kinds (Topology, Peers) and the telemetry
+        // kind (Stats) travel through the same codec as the round-loop kinds.
+        for kind in [FrameKind::Topology, FrameKind::Peers, FrameKind::Stats] {
             let header = FrameHeader {
                 kind,
                 round: 0,

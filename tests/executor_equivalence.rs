@@ -17,8 +17,8 @@ use dcme_baselines::degree_plus_one::{self, DegreePlusOneNode};
 use dcme_baselines::ultrafast::{self, UltrafastNode};
 use dcme_congest::{
     ExecutionMode, FaultPlan, FaultyTransport, Inbox, NodeAlgorithm, NodeContext, Outbox,
-    RunOutcome, ShardedExecutor, ShardedTopology, Simulator, SimulatorConfig, SocketLoopback,
-    Topology, TransportBuilder,
+    RecordingSink, RunOutcome, ShardedExecutor, ShardedTopology, Simulator, SimulatorConfig,
+    SocketLoopback, Topology, TraceEvent, TransportBuilder,
 };
 use dcme_graphs::generators;
 
@@ -183,6 +183,48 @@ where
             "{name} active sets"
         );
     }
+}
+
+/// Asserts a traced run is bit-for-bit identical to its untraced twin on
+/// the same executor and transport: outputs and every logical counter,
+/// including the deterministic per-backend wire-byte count.  This is the
+/// out-of-band contract of `dcme_congest::trace` — sinks observe, they
+/// never influence.
+fn assert_tracing_invisible(name: &str, plain: &RunOutcome<u64>, traced: &RunOutcome<u64>) {
+    assert_eq!(&plain.outputs, &traced.outputs, "{name} outputs diverged");
+    assert_eq!(plain.metrics.rounds, traced.metrics.rounds, "{name} rounds");
+    assert_eq!(
+        plain.metrics.messages, traced.metrics.messages,
+        "{name} messages"
+    );
+    assert_eq!(
+        plain.metrics.total_bits, traced.metrics.total_bits,
+        "{name} bits"
+    );
+    assert_eq!(
+        plain.metrics.max_message_bits, traced.metrics.max_message_bits,
+        "{name} max bits"
+    );
+    assert_eq!(
+        plain.metrics.active_per_round, traced.metrics.active_per_round,
+        "{name} active sets"
+    );
+    assert_eq!(
+        plain.metrics.hit_round_cap, traced.metrics.hit_round_cap,
+        "{name} cap"
+    );
+    assert_eq!(
+        plain.metrics.intra_shard_messages, traced.metrics.intra_shard_messages,
+        "{name} intra-shard"
+    );
+    assert_eq!(
+        plain.metrics.cross_shard_messages, traced.metrics.cross_shard_messages,
+        "{name} cross-shard"
+    );
+    assert_eq!(
+        plain.metrics.wire_bytes_sent, traced.metrics.wire_bytes_sent,
+        "{name} wire bytes"
+    );
 }
 
 proptest! {
@@ -370,6 +412,90 @@ proptest! {
             })
             .expect("restricted build");
             prop_assert_eq!(&slice, &full.shard_slice(shard), "slice {} diverged", shard);
+        }
+    }
+
+    /// Observability regression: attaching a recording `TraceSink` to any
+    /// executor × transport combination must be bit-for-bit invisible —
+    /// identical outputs, rounds and every logical counter — while the
+    /// sink itself observes a full run (lifecycle events bracket the
+    /// stream and every round is reported).
+    #[test]
+    fn attached_trace_sink_is_bit_for_bit_invisible(
+        family in 0usize..4,
+        size in 8usize..48,
+        graph_seed in 0u64..200,
+        ttl_seed in 0u64..1000,
+        threads in 1usize..4,
+        shards in 1usize..5,
+    ) {
+        let g = build_graph(family, size, graph_seed);
+        let ttls = schedule(g.num_nodes(), ttl_seed);
+        let sharded = ShardedTopology::from_topology(&g, shards).expect("shardable topology");
+        let mk = || ttls.iter().map(|&t| ScheduledGossip::new(t)).collect::<Vec<_>>();
+        let config = |mode| SimulatorConfig { max_rounds: 1_000_000, mode };
+
+        let mut sinks = Vec::new();
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel { threads }] {
+            let name = if mode == ExecutionMode::Sequential { "seq" } else { "pooled" };
+            let sink = RecordingSink::new();
+            let plain = run_with_mode(&g, &ttls, mode);
+            let traced = Simulator::with_config(&g, config(mode))
+                .with_tracer(&sink)
+                .run(mk());
+            assert_tracing_invisible(name, &plain, &traced);
+            sinks.push((name, traced.metrics.rounds, sink));
+        }
+        {
+            let sink = RecordingSink::new();
+            let plain = run_sharded(&g, &ttls, shards, dcme_congest::InProcess);
+            let traced = Simulator::new(&sharded)
+                .with_tracer(&sink)
+                .run_with_executor(mk(), &ShardedExecutor::new());
+            assert_tracing_invisible("sharded+inproc", &plain, &traced);
+            sinks.push(("sharded+inproc", traced.metrics.rounds, sink));
+        }
+        {
+            let sink = RecordingSink::new();
+            let plain = run_sharded(&g, &ttls, shards, SocketLoopback::unix());
+            let traced = Simulator::new(&sharded).with_tracer(&sink).run_with_executor(
+                mk(),
+                &ShardedExecutor::with_transport(SocketLoopback::unix()),
+            );
+            assert_tracing_invisible("sharded+socket", &plain, &traced);
+            sinks.push(("sharded+socket", traced.metrics.rounds, sink));
+        }
+
+        for (name, rounds, sink) in &sinks {
+            prop_assert!(!sink.is_empty(), "{} emitted no events", name);
+            let events = sink.take();
+            prop_assert!(
+                matches!(events.first(), Some(TraceEvent::RunStart { .. })),
+                "{} stream must open with RunStart", name
+            );
+            prop_assert!(
+                matches!(events.last(), Some(TraceEvent::RunEnd { rounds: r }) if r == rounds),
+                "{} stream must close with RunEnd({})", name, rounds
+            );
+            let starts = events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+                .count() as u64;
+            prop_assert_eq!(starts, *rounds, "{}: one RoundStart per round", name);
+            // The sharded streams additionally carry the worker lifecycle:
+            // exactly one start and one end per shard.
+            if name.starts_with("sharded") {
+                let ws = events
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::WorkerStart { .. }))
+                    .count();
+                let we = events
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::WorkerEnd { .. }))
+                    .count();
+                prop_assert_eq!(ws, shards, "{}: WorkerStart per shard", name);
+                prop_assert_eq!(we, shards, "{}: WorkerEnd per shard", name);
+            }
         }
     }
 
