@@ -44,8 +44,11 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: exp_trace [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
-         [--seed SEED] [--max-rounds R] [--mode seq|pooled|sharded|socket] \
-         [--out TRACE.json] [--series ROUNDS.jsonl] [--label LABEL]"
+         [--seed SEED] [--max-rounds R] [--mode seq|pooled|sharded|socket|mesh] \
+         [--out TRACE.json] [--series ROUNDS.jsonl] [--label LABEL]\n\
+         \x20      --mode mesh runs the worker protocol in-process over TCP loopback\n\
+         \x20      with the direct worker-to-worker data mesh, merging each worker's\n\
+         \x20      shipped Trace frame into the engine track (one pid per worker)"
     );
     std::process::exit(2);
 }
@@ -87,7 +90,10 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if !matches!(args.mode.as_str(), "seq" | "pooled" | "sharded" | "socket") {
+    if !matches!(
+        args.mode.as_str(),
+        "seq" | "pooled" | "sharded" | "socket" | "mesh"
+    ) {
         eprintln!("unknown --mode {:?}", args.mode);
         usage()
     }
@@ -102,7 +108,86 @@ fn main() {
     }
 }
 
+/// The `mesh` mode: the full worker protocol run in-process — one thread
+/// per shard serving over TCP loopback with the direct worker↔worker data
+/// mesh, each shipping its captured trace as a final `Trace` frame that
+/// [`dcme_congest::transport::coordinate_traced`] merges into the engine
+/// track.  Returns the merged sink and the run outcome; the per-round
+/// series is rebuilt afterwards by replaying the merged events.
+fn run_mesh(args: &Args) -> std::io::Result<(ChromeTraceSink, dcme_congest::RunOutcome<u64>)> {
+    use dcme_congest::{transport, ShardPlan, ShardSliceTopology, ShardTopologyView};
+    use std::net::{TcpListener, TcpStream};
+
+    let shards = args.shards;
+    let stream =
+        workloads::graph_stream(&args.graph, args.n, args.seed).map_err(std::io::Error::other)?;
+    let plan = ShardPlan::from_edge_stream(args.n, shards, stream)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+
+    // Bind every mesh listener before any worker dials, so the peer list
+    // is complete up front and every dial lands in a live backlog.
+    let listeners: Vec<TcpListener> = (0..shards)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let peer_list: Vec<(u16, String)> = listeners
+        .iter()
+        .enumerate()
+        .map(|(s, l)| Ok((s as u16, l.local_addr()?.to_string())))
+        .collect::<std::io::Result<_>>()?;
+    let control = TcpListener::bind("127.0.0.1:0")?;
+    let control_addr = control.local_addr()?;
+
+    let chrome = ChromeTraceSink::new();
+    let outcome = std::thread::scope(|scope| -> std::io::Result<_> {
+        for (shard, listener) in listeners.into_iter().enumerate() {
+            let plan = plan.clone();
+            let peer_list = peer_list.clone();
+            let (graph, n, tail) = (args.graph.clone(), args.n, args.tail);
+            scope.spawn(move || -> std::io::Result<()> {
+                let mut link = TcpStream::connect(control_addr)?;
+                link.set_nodelay(true)?;
+                let stream =
+                    workloads::graph_stream(&graph, n, args.seed).map_err(std::io::Error::other)?;
+                let slice = ShardSliceTopology::build(plan, shard, stream)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let mesh =
+                    transport::WorkerMesh::connect(shard as u16, shards, &peer_list, &listener)?;
+                let nodes = workloads::gossip_nodes(slice.shard_nodes(shard), tail);
+                transport::serve_shard_with(
+                    &mut link,
+                    &slice,
+                    shard,
+                    nodes,
+                    &mut transport::DataPlane::Mesh(mesh),
+                    &transport::ServeOptions {
+                        stats_every: 0,
+                        trace: true,
+                    },
+                )
+            });
+        }
+        let mut links = Vec::with_capacity(shards);
+        while links.len() < shards {
+            let (stream, _) = control.accept()?;
+            stream.set_nodelay(true)?;
+            links.push(stream);
+        }
+        let spec = transport::CoordinateSpec {
+            num_nodes: args.n,
+            shards,
+            max_rounds: args.max_rounds,
+            mesh: true,
+            progress: false,
+        };
+        transport::coordinate_traced::<u64, _>(links, &spec, Some(&chrome))
+    })?;
+    Ok((chrome, outcome))
+}
+
 fn run(args: &Args) -> std::io::Result<()> {
+    if args.mode == "mesh" {
+        return run_and_report_mesh(args);
+    }
     let g = workloads::build_graph(&args.graph, args.n, args.shards, args.seed)
         .map_err(std::io::Error::other)?;
     let nodes = workloads::gossip_nodes(0..args.n, args.tail);
@@ -151,6 +236,56 @@ fn run(args: &Args) -> std::io::Result<()> {
         let mut w = JsonLinesWriter::new(file);
         // The RunMetrics row and the per-round rows side by side, same
         // label: the `"kind"` tag keeps the shapes distinguishable.
+        w.append(&label, &outcome.metrics)?;
+        series.write_jsonl(&label, &mut w)?;
+    }
+
+    let summary = series.summary();
+    println!(
+        "{label}: rounds={} messages={} trace_events={} round_nanos_p50={} p95={} max={} \
+         wall_ms={:.0} -> {}",
+        outcome.metrics.rounds,
+        outcome.metrics.messages,
+        chrome.len(),
+        summary.p50_nanos,
+        summary.p95_nanos,
+        summary.max_nanos,
+        wall.as_secs_f64() * 1e3,
+        args.out.display(),
+    );
+    Ok(())
+}
+
+/// Drives [`run_mesh`], then writes the merged trace, rebuilds the
+/// per-round series by replaying the merged events, and prints the same
+/// summary line as the in-process modes.
+fn run_and_report_mesh(args: &Args) -> std::io::Result<()> {
+    let label = args.label.clone().unwrap_or_else(|| {
+        format!(
+            "exp_trace/{}/n{}/shards{}/mesh",
+            args.graph, args.n, args.shards
+        )
+    });
+    let t = std::time::Instant::now();
+    let (chrome, outcome) = run_mesh(args)?;
+    let wall = t.elapsed();
+
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&args.out)?);
+    chrome.write_json(&mut out)?;
+    out.flush()?;
+
+    // The round series is rebuilt from the merged trace: the coordinator's
+    // RoundStart/RoundEnd rows plus every worker's per-shard deltas, all
+    // arriving through the same sink the in-process modes feed live.
+    let series = RoundSeries::new();
+    chrome.replay_into(&series);
+
+    if let Some(path) = &args.series {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut w = JsonLinesWriter::new(file);
         w.append(&label, &outcome.metrics)?;
         series.write_jsonl(&label, &mut w)?;
     }

@@ -38,6 +38,14 @@
 //! active count, wire bytes, peak RSS and round rate, so a stalled
 //! multi-hour mesh run shows *which* worker stopped voting.
 //!
+//! Remote tracing: with `--trace FILE` every worker captures its own trace
+//! events against a local monotonic clock and ships them to the coordinator
+//! as one final `Trace` control frame; the coordinator merges them with its
+//! own engine-track events into a single Chrome-trace file (one named
+//! `pid` per worker, loadable in Perfetto).  Tracing rides strictly
+//! out-of-band — a traced run stays bit-for-bit identical to an untraced
+//! one, in relay and mesh modes alike.
+//!
 //! Every process derives the same topology and workload deterministically
 //! from the shared arguments, so the run is bit-for-bit comparable to an
 //! in-process sequential run — which `--verify` checks end to end.
@@ -84,18 +92,21 @@ struct Args {
     verify: bool,
     jsonl: Option<std::path::PathBuf>,
     progress: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: exp_worker [--n N] [--shards S] [--graph ring|circulant4] [--tail T] \
          [--seed SEED] [--max-rounds R] [--mesh] [--hosts FILE] [--listen ADDR] \
-         [--verify] [--jsonl PATH] [--progress] [--stats-every K]\n\
+         [--verify] [--jsonl PATH] [--progress] [--stats-every K] [--trace FILE]\n\
          \x20      exp_worker --worker SHARD --connect HOST:PORT [--mesh] [--listen ADDR] \
          [--advertise HOST] <same run parameters>\n\
          \x20      --hosts requires --mesh (external workers join over the data mesh);\n\
          \x20      --progress renders worker Stats frames as stderr heartbeat lines\n\
-         \x20      (implies --stats-every 64 unless set explicitly)"
+         \x20      (implies --stats-every 64 unless set explicitly);\n\
+         \x20      --trace FILE writes one merged Chrome trace (engine track + one track\n\
+         \x20      per worker process) the coordinator assembles from Trace control frames"
     );
     std::process::exit(2);
 }
@@ -120,6 +131,7 @@ fn parse_args() -> Args {
         verify: false,
         jsonl: None,
         progress: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -152,6 +164,7 @@ fn parse_args() -> Args {
             "--stats-every" => {
                 args.params.stats_every = value("--stats-every").parse().unwrap_or_else(|_| usage())
             }
+            "--trace" => args.trace = Some(value("--trace").into()),
             _ => usage(),
         }
     }
@@ -182,6 +195,7 @@ fn main() {
             args.connect.as_deref(),
             &args.listen,
             args.advertise.as_deref(),
+            args.trace.is_some(),
         ),
         None => run_coordinator(
             &args.params,
@@ -190,6 +204,7 @@ fn main() {
             args.verify,
             jsonl.as_deref(),
             args.progress,
+            args.trace.as_deref(),
         ),
     };
     if let Err(e) = result {
@@ -211,13 +226,16 @@ fn build_slice(
         .map_err(|e| std::io::Error::other(format!("restricted shard build failed: {e}")))
 }
 
-/// Worker mode: connect to the coordinator, serve one shard, exit.
+/// Worker mode: connect to the coordinator, serve one shard, exit.  With
+/// `traced` the worker captures its trace events and ships them to the
+/// coordinator as one final Trace frame (the coordinator owns the file).
 fn run_worker(
     params: &Params,
     shard: usize,
     connect: Option<&str>,
     listen: &str,
     advertise: Option<&str>,
+    traced: bool,
 ) -> std::io::Result<()> {
     let addr = connect.unwrap_or_else(|| {
         eprintln!("--worker requires --connect HOST:PORT");
@@ -260,6 +278,7 @@ fn run_worker(
             &mut transport::DataPlane::Mesh(mesh),
             &transport::ServeOptions {
                 stats_every: params.stats_every,
+                trace: traced,
             },
         )
     } else {
@@ -279,6 +298,7 @@ fn run_worker(
             &mut transport::DataPlane::Relay,
             &transport::ServeOptions {
                 stats_every: params.stats_every,
+                trace: traced,
             },
         )
     }
@@ -311,6 +331,7 @@ fn run_coordinator(
     verify: bool,
     jsonl: Option<&std::path::Path>,
     progress: bool,
+    trace: Option<&std::path::Path>,
 ) -> std::io::Result<()> {
     let hosts = hosts
         .map(|path| read_hosts(path, params.shards))
@@ -354,6 +375,12 @@ fn run_coordinator(
             }
             if params.stats_every > 0 {
                 cmd.args(["--stats-every", &params.stats_every.to_string()]);
+            }
+            if trace.is_some() {
+                // Workers only need the *flag* — the path stays with the
+                // coordinator, which assembles the merged file.  Any
+                // non-empty value turns capture on.
+                cmd.args(["--trace", "-"]);
             }
             children.push(cmd.stdin(Stdio::null()).spawn()?);
         }
@@ -399,8 +426,9 @@ fn run_coordinator(
         mesh: params.mesh,
         progress,
     };
+    let trace_sink = trace.map(|_| dcme_congest::ChromeTraceSink::new());
     let t = std::time::Instant::now();
-    let outcome = transport::coordinate::<u64, _>(links, &spec);
+    let outcome = transport::coordinate_traced::<u64, _>(links, &spec, trace_sink.as_ref());
     let wall = t.elapsed();
     for mut child in children {
         let status = child.wait()?;
@@ -442,6 +470,15 @@ fn run_coordinator(
             .append(true)
             .open(path)?;
         JsonLinesWriter::new(file).append(&label, &outcome.metrics)?;
+    }
+    if let (Some(path), Some(sink)) = (trace, &trace_sink) {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        sink.write_json(&mut file)?;
+        println!(
+            "trace: {} (engine track + {} worker tracks, load in Perfetto)",
+            path.display(),
+            params.shards,
+        );
     }
 
     if verify {

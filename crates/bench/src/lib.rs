@@ -92,13 +92,37 @@
 //! `syscall_batches` with the overlapped socket drain, the five
 //! `faults_*`/`stale_overwrites` counters with the fault-injection harness
 //! — see [`experiments::ef_fault_injection`] and the `exp_faults` binary —
-//! and `relayed_data_bytes`/`peak_rss_bytes` with the scale-out data
-//! mesh), so rows stay parseable across versions; consumers must ignore
-//! unknown keys.
+//! `relayed_data_bytes`/`peak_rss_bytes` with the scale-out data
+//! mesh, and the per-round fault counters on round-series rows with the
+//! run-diff engine), so rows stay parseable across versions; consumers
+//! must ignore unknown keys.
+//!
+//! # The committed baseline and the regression gate
+//!
+//! `baselines/metrics-baseline.jsonl` (repo root) is a checked-in file of
+//! exactly these rows, captured from the CI-sized smoke benches
+//! (`ENGINE_SCALING_SMOKE=1` / `ENGINE_SHARDING_SMOKE=1` /
+//! `ENGINE_TRANSPORT_SMOKE=1` with `DCME_METRICS_JSONL` set).  The
+//! [`diff`] module compares a fresh capture against it, matched by label:
+//! deterministic counters (rounds, messages, bits, the intra/cross split,
+//! wire bytes, fault counters, the `active_per_round` schedule) must match
+//! **exactly** — they are pinned by the executor-equivalence guarantee, so
+//! the committed file is machine-independent — while scheduling-dependent
+//! counters (`syscall_batches`, `peak_rss_bytes`, timings) are reported
+//! but never gate by default.  Each comparison yields a typed
+//! [`diff::Verdict`]: `Improved` (the counter went down), `Unchanged`
+//! (equal, or within the configured [`diff::Tolerance`]), or
+//! `Regressed` carrying the threshold that fired.  `exp_diff
+//! BASELINE CANDIDATE --check` renders the markdown report and exits
+//! nonzero on any regression — the CI ratchet.  After an intentional
+//! change (an algorithm or wire-format improvement shifts the
+//! deterministic counters), re-capture and re-commit the baseline in the
+//! same PR, with the diff report in the PR description.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod table;
 pub mod workloads;

@@ -1,12 +1,59 @@
 //! End-to-end smoke of the tracing subsystem: `exp_trace` must emit
 //! well-formed Chrome trace-event JSON (one process track per shard,
 //! nonzero phase slices) plus per-round series rows that parse back
-//! field-for-field, and a `--progress` multi-process `exp_worker` run must
-//! render worker heartbeat lines on stderr.
+//! field-for-field, a `--progress` multi-process `exp_worker` run must
+//! render worker heartbeat lines on stderr, and a `--trace` run must
+//! merge every worker's shipped Trace frame into one Perfetto-loadable
+//! file — in relay and mesh modes, without perturbing `--verify`.
 
 use std::process::Command;
 
 use dcme_congest::{JsonValue, RoundRow, RunMetrics};
+
+/// Parses a Chrome trace file and returns, per pid: is it named, how many
+/// nonzero-duration slices it has, and how many `worker_start` instants
+/// and `"fault"`-category instants the whole file carries.
+struct TraceShape {
+    named_pids: std::collections::BTreeSet<u64>,
+    pids: std::collections::BTreeSet<u64>,
+    nonzero_slices_by_pid: std::collections::BTreeMap<u64, usize>,
+    worker_starts: usize,
+    fault_instants: usize,
+}
+
+fn trace_shape(text: &str) -> TraceShape {
+    let doc = JsonValue::parse(text).expect("trace file must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("top-level traceEvents array");
+    let mut shape = TraceShape {
+        named_pids: Default::default(),
+        pids: Default::default(),
+        nonzero_slices_by_pid: Default::default(),
+        worker_starts: 0,
+        fault_instants: 0,
+    };
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some(), "ts field");
+        let pid = ev.get("pid").and_then(|p| p.as_u64()).expect("pid field");
+        shape.pids.insert(pid);
+        if ph == "M" {
+            shape.named_pids.insert(pid);
+        }
+        if ph == "X" && ev.get("dur").and_then(|d| d.as_f64()).unwrap_or(0.0) > 0.0 {
+            *shape.nonzero_slices_by_pid.entry(pid).or_default() += 1;
+        }
+        if ev.get("name").and_then(|n| n.as_str()) == Some("worker_start") {
+            shape.worker_starts += 1;
+        }
+        if ev.get("cat").and_then(|c| c.as_str()) == Some("fault") {
+            shape.fault_instants += 1;
+        }
+    }
+    shape
+}
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("dcme_trace_{tag}_{}", std::process::id()));
@@ -179,4 +226,128 @@ fn progress_coordinator_renders_worker_heartbeats() {
         stderr.contains("rounds/s"),
         "heartbeat lines must carry a round rate: {stderr}"
     );
+}
+
+/// The remote trace capture end to end: a multi-process `exp_worker
+/// --trace` run — relay and mesh — produces one merged Chrome trace with
+/// the engine track plus one named, slice-bearing track per worker
+/// process, while the run itself still verifies bit-for-bit against the
+/// sequential executor.
+#[test]
+fn exp_worker_trace_merges_one_track_per_worker_process() {
+    let dir = tmp_dir("remote");
+    let shards = 2u64;
+    for mesh in [false, true] {
+        let mode = if mesh { "mesh" } else { "relay" };
+        let trace = dir.join(format!("{mode}.trace.json"));
+        let mut args = vec![
+            "--n".to_string(),
+            "600".to_string(),
+            "--shards".to_string(),
+            shards.to_string(),
+            "--graph".to_string(),
+            "circulant4".to_string(),
+            "--tail".to_string(),
+            "6".to_string(),
+            "--verify".to_string(),
+            "--trace".to_string(),
+            trace.to_str().unwrap().to_string(),
+        ];
+        if mesh {
+            args.push("--mesh".to_string());
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_exp_worker"))
+            .args(&args)
+            .output()
+            .expect("spawn exp_worker");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "exp_worker --trace ({mode}) failed\nstdout: {stdout}\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Tracing is out-of-band: the traced run still verifies.
+        assert!(stdout.contains("verify: OK"), "missing verify in: {stdout}");
+
+        let shape = trace_shape(&std::fs::read_to_string(&trace).unwrap());
+        let expected: std::collections::BTreeSet<u64> = (0..=shards).collect();
+        assert_eq!(
+            shape.pids, expected,
+            "{mode}: engine pid plus one pid per worker"
+        );
+        assert_eq!(shape.named_pids, expected, "{mode}: every track is named");
+        assert_eq!(
+            shape.worker_starts, shards as usize,
+            "{mode}: one worker_start per shipped worker blob"
+        );
+        for worker_pid in 1..=shards {
+            assert!(
+                shape
+                    .nonzero_slices_by_pid
+                    .get(&worker_pid)
+                    .copied()
+                    .unwrap_or(0)
+                    > 0,
+                "{mode}: worker pid {worker_pid} has no nonzero-duration slices"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault instants survive the same merge path remote traces use: a seeded
+/// [`dcme_congest::FaultyTransport`] run captured with a
+/// [`dcme_congest::StampedRecorder`], shipped through the stamped codec
+/// and ingested into a [`dcme_congest::ChromeTraceSink`], renders
+/// `"cat":"fault"` instants on the faulting shard's track.
+#[test]
+fn fault_instants_survive_the_stamped_merge_path() {
+    use dcme_bench::workloads;
+    use dcme_congest::{
+        decode_stamped, encode_stamped, ChromeTraceSink, DeliveryMode, FaultPlan, FaultyTransport,
+        InProcess, RoundSeries, ShardedExecutor, Simulator, SimulatorConfig,
+    };
+    use std::sync::Arc;
+
+    let n = 400;
+    let shards = 2;
+    let g = workloads::build_graph("circulant4", n, shards, 7).expect("graph");
+    let recorder = Arc::new(dcme_congest::StampedRecorder::new());
+    let plan = FaultPlan::none(11).with_drop(80).with_retransmission();
+    let builder = FaultyTransport::new(plan, InProcess).with_tracer(recorder.clone());
+    Simulator::with_config(
+        &g,
+        SimulatorConfig {
+            max_rounds: 1_000_000,
+            ..SimulatorConfig::default()
+        },
+    )
+    .run_with_executor(
+        workloads::gossip_nodes(0..n, 6),
+        &ShardedExecutor::with_transport(builder).with_delivery(DeliveryMode::Async),
+    );
+
+    let stamped = recorder.take();
+    assert!(!stamped.is_empty(), "the tracer recorded no fault events");
+    // The same wire blob a remote worker would ship, then the same merge.
+    let decoded = decode_stamped(&encode_stamped(&stamped)).expect("codec round-trip");
+    assert_eq!(decoded, stamped, "stamped events survive the codec");
+    let chrome = ChromeTraceSink::new();
+    chrome.ingest_stamped(&decoded);
+    let mut buf = Vec::new();
+    chrome.write_json(&mut buf).expect("render merged trace");
+    let shape = trace_shape(&String::from_utf8(buf).expect("utf8 trace"));
+    assert!(
+        shape.fault_instants > 0,
+        "merged trace carries no fault instants"
+    );
+    // The fault binning reaches the per-round series through replay, too.
+    let series = RoundSeries::new();
+    chrome.replay_into(&series);
+    let faults: u64 = series
+        .rows()
+        .iter()
+        .map(|r| r.dropped + r.retransmitted)
+        .sum();
+    assert!(faults > 0, "replayed series rows carry no fault counts");
 }

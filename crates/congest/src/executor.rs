@@ -1239,6 +1239,7 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
                     });
                 }
                 let t = Instant::now();
+                let s0 = local.stale_overwrites;
                 transport
                     .drain(shard, round, &mut |slot, sender, msg| {
                         let li = slot as usize - slot_base;
@@ -1265,6 +1266,7 @@ fn sharded_worker_loop<A: NodeAlgorithm, X: Transport<A::Message>>(
                         round,
                         shard,
                         nanos: drain_d,
+                        stale: local.stale_overwrites - s0,
                     });
                     tracer.emit(&TraceEvent::PhaseEnd {
                         round,

@@ -97,12 +97,12 @@ pub use sharded::{ShardPlan, ShardSliceTopology, ShardTopologyView, ShardedTopol
 pub use simulator::{ExecutionMode, RunOutcome, Simulator, SimulatorConfig};
 pub use topology::{BallScratch, NodeId, Port, Topology, TopologyError, TopologyView};
 pub use trace::{
-    ChromeTraceSink, Fanout, NoTrace, RecordingSink, RoundRow, RoundSeries, SeriesSummary,
-    TraceEvent, TracePhase, TraceSink,
+    decode_stamped, encode_stamped, ChromeTraceSink, Fanout, NoTrace, RecordingSink, RoundRow,
+    RoundSeries, SeriesSummary, StampedRecorder, TraceEvent, TracePhase, TraceSink,
 };
 pub use transport::{
-    coordinate, serve_shard, serve_shard_on, serve_shard_with, CoordinateSpec, DataPlane,
-    InProcess, ServeOptions, SocketLoopback, Transport, TransportBuilder, TransportError,
-    TransportMessage, WorkerMesh, WorkerStats,
+    coordinate, coordinate_traced, serve_shard, serve_shard_on, serve_shard_with, CoordinateSpec,
+    DataPlane, InProcess, ServeOptions, SocketLoopback, Transport, TransportBuilder,
+    TransportError, TransportMessage, WorkerMesh, WorkerStats,
 };
 pub use wire::{BitReader, BitWriter, WireError, WireMessage};

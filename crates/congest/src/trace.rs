@@ -151,6 +151,9 @@ pub enum TraceEvent {
         shard: usize,
         /// Wall-clock nanoseconds the drain took.
         nanos: u64,
+        /// Async-delivery slot overwrites during this drain (a stale copy
+        /// was replaced by a fresher message; always 0 in strict mode).
+        stale: u64,
     },
     /// Per-shard traffic summary of one round (charged at the sender).
     ShardRound {
@@ -295,6 +298,364 @@ impl TraceSink for RecordingSink {
     }
 }
 
+/// A sink that stamps every event with nanoseconds since its own monotonic
+/// epoch — the capture half of remote trace shipping.
+///
+/// The epoch is taken at construction, so a recorder created when a worker
+/// starts serving gives the per-worker timeline of the documented
+/// clock-alignment rule: timestamps are meaningful *within* the recorder's
+/// own track, and the merge ([`ChromeTraceSink::ingest_stamped`]) places
+/// every origin at merged time 0.
+#[derive(Debug)]
+pub struct StampedRecorder {
+    epoch: Instant,
+    events: Mutex<Vec<(u64, TraceEvent)>>,
+}
+
+impl Default for StampedRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StampedRecorder {
+    /// An empty recorder; its epoch (timestamp 0) is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the stamped events, leaving the recorder empty (the epoch is
+    /// kept).
+    pub fn take(&self) -> Vec<(u64, TraceEvent)> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for StampedRecorder {
+    fn emit(&self, event: &TraceEvent) {
+        let at_nanos = self.epoch.elapsed().as_nanos() as u64;
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((at_nanos, *event));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stamped-event wire codec: the payload of a `Trace` control frame
+// ---------------------------------------------------------------------------
+
+const EV_RUN_START: u8 = 0;
+const EV_RUN_END: u8 = 1;
+const EV_ROUND_START: u8 = 2;
+const EV_ROUND_END: u8 = 3;
+const EV_PHASE_START: u8 = 4;
+const EV_PHASE_END: u8 = 5;
+const EV_SHARD_FLUSH: u8 = 6;
+const EV_SHARD_DRAIN: u8 = 7;
+const EV_SHARD_ROUND: u8 = 8;
+const EV_FAULT: u8 = 9;
+const EV_WORKER_START: u8 = 10;
+const EV_WORKER_END: u8 = 11;
+
+fn phase_tag(phase: TracePhase) -> u8 {
+    match phase {
+        TracePhase::Send => 0,
+        TracePhase::Deliver => 1,
+        TracePhase::Receive => 2,
+    }
+}
+
+fn phase_from_tag(tag: u8) -> Result<TracePhase, String> {
+    match tag {
+        0 => Ok(TracePhase::Send),
+        1 => Ok(TracePhase::Deliver),
+        2 => Ok(TracePhase::Receive),
+        other => Err(format!("unknown trace phase tag {other}")),
+    }
+}
+
+fn fault_tag(kind: FaultKind) -> (u8, u64) {
+    match kind {
+        FaultKind::Dropped => (0, 0),
+        FaultKind::Duplicated => (1, 0),
+        FaultKind::Delayed { rounds } => (2, rounds),
+        FaultKind::Retransmitted => (3, 0),
+        FaultKind::PartitionDropped => (4, 0),
+        FaultKind::PartitionDeferred { until_round } => (5, until_round),
+    }
+}
+
+fn fault_from_tag(tag: u8, arg: u64) -> Result<FaultKind, String> {
+    match tag {
+        0 => Ok(FaultKind::Dropped),
+        1 => Ok(FaultKind::Duplicated),
+        2 => Ok(FaultKind::Delayed { rounds: arg }),
+        3 => Ok(FaultKind::Retransmitted),
+        4 => Ok(FaultKind::PartitionDropped),
+        5 => Ok(FaultKind::PartitionDeferred { until_round: arg }),
+        other => Err(format!("unknown fault kind tag {other}")),
+    }
+}
+
+/// Serializes a stamped event stream as the payload of a
+/// [`Trace`](crate::wire::FrameKind::Trace) control frame: `[count: u32
+/// LE]`, then per event `[at_nanos: u64 LE][tag: u8]` followed by the
+/// variant's fields (u64 LE numbers; phases and fault kinds as one tag
+/// byte, fault kinds with one u64 argument).
+///
+/// Timestamps are nanoseconds since the *capturing* process's own
+/// monotonic origin (its [`StampedRecorder`] epoch); see
+/// [`ChromeTraceSink::ingest_stamped`] for the alignment rule applied on
+/// merge.
+pub fn encode_stamped(events: &[(u64, TraceEvent)]) -> Vec<u8> {
+    use crate::wire::{put_u32, put_u64};
+    let mut out = Vec::with_capacity(4 + events.len() * 40);
+    put_u32(&mut out, u32::try_from(events.len()).expect("event count"));
+    for &(at_nanos, event) in events {
+        put_u64(&mut out, at_nanos);
+        match event {
+            TraceEvent::RunStart { nodes, shards } => {
+                out.push(EV_RUN_START);
+                put_u64(&mut out, nodes as u64);
+                put_u64(&mut out, shards as u64);
+            }
+            TraceEvent::RunEnd { rounds } => {
+                out.push(EV_RUN_END);
+                put_u64(&mut out, rounds);
+            }
+            TraceEvent::RoundStart { round, active } => {
+                out.push(EV_ROUND_START);
+                put_u64(&mut out, round);
+                put_u64(&mut out, active as u64);
+            }
+            TraceEvent::RoundEnd {
+                round,
+                active,
+                nanos,
+            } => {
+                out.push(EV_ROUND_END);
+                put_u64(&mut out, round);
+                put_u64(&mut out, active as u64);
+                put_u64(&mut out, nanos);
+            }
+            TraceEvent::PhaseStart {
+                round,
+                shard,
+                phase,
+            } => {
+                out.push(EV_PHASE_START);
+                put_u64(&mut out, round);
+                put_u64(&mut out, shard as u64);
+                out.push(phase_tag(phase));
+            }
+            TraceEvent::PhaseEnd {
+                round,
+                shard,
+                phase,
+                nanos,
+            } => {
+                out.push(EV_PHASE_END);
+                put_u64(&mut out, round);
+                put_u64(&mut out, shard as u64);
+                out.push(phase_tag(phase));
+                put_u64(&mut out, nanos);
+            }
+            TraceEvent::ShardFlush {
+                round,
+                shard,
+                wire_bytes,
+                nanos,
+            } => {
+                out.push(EV_SHARD_FLUSH);
+                put_u64(&mut out, round);
+                put_u64(&mut out, shard as u64);
+                put_u64(&mut out, wire_bytes);
+                put_u64(&mut out, nanos);
+            }
+            TraceEvent::ShardDrain {
+                round,
+                shard,
+                nanos,
+                stale,
+            } => {
+                out.push(EV_SHARD_DRAIN);
+                put_u64(&mut out, round);
+                put_u64(&mut out, shard as u64);
+                put_u64(&mut out, nanos);
+                put_u64(&mut out, stale);
+            }
+            TraceEvent::ShardRound {
+                round,
+                shard,
+                messages,
+                bits,
+                cross,
+            } => {
+                out.push(EV_SHARD_ROUND);
+                put_u64(&mut out, round);
+                put_u64(&mut out, shard as u64);
+                put_u64(&mut out, messages);
+                put_u64(&mut out, bits);
+                put_u64(&mut out, cross);
+            }
+            TraceEvent::Fault {
+                round,
+                from,
+                to,
+                kind,
+            } => {
+                let (tag, arg) = fault_tag(kind);
+                out.push(EV_FAULT);
+                put_u64(&mut out, round);
+                put_u64(&mut out, from as u64);
+                put_u64(&mut out, to as u64);
+                out.push(tag);
+                put_u64(&mut out, arg);
+            }
+            TraceEvent::WorkerStart { shard } => {
+                out.push(EV_WORKER_START);
+                put_u64(&mut out, shard as u64);
+            }
+            TraceEvent::WorkerEnd { shard } => {
+                out.push(EV_WORKER_END);
+                put_u64(&mut out, shard as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a payload produced by [`encode_stamped`] back into the stamped
+/// event stream.  Every malformed input — truncation, an unknown event,
+/// phase or fault tag, trailing bytes — is reported as an error, never a
+/// panic (the payload crosses a process boundary).
+pub fn decode_stamped(payload: &[u8]) -> Result<Vec<(u64, TraceEvent)>, String> {
+    struct Cursor<'a> {
+        buf: &'a [u8],
+        at: usize,
+    }
+    impl Cursor<'_> {
+        fn u8(&mut self) -> Result<u8, String> {
+            let b = *self
+                .buf
+                .get(self.at)
+                .ok_or_else(|| "truncated trace payload".to_string())?;
+            self.at += 1;
+            Ok(b)
+        }
+        fn u64(&mut self) -> Result<u64, String> {
+            let bytes = self
+                .buf
+                .get(self.at..self.at + 8)
+                .ok_or_else(|| "truncated trace payload".to_string())?;
+            self.at += 8;
+            Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        }
+        fn shard(&mut self) -> Result<usize, String> {
+            usize::try_from(self.u64()?).map_err(|_| "oversized shard index".to_string())
+        }
+    }
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let count = {
+        let bytes = c
+            .buf
+            .get(0..4)
+            .ok_or_else(|| "truncated trace payload".to_string())?;
+        c.at = 4;
+        u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize
+    };
+    // Cheap bound: every event costs at least 9 bytes (stamp + tag).
+    if count > payload.len() / 9 + 1 {
+        return Err(format!("trace event count {count} exceeds the payload"));
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at_nanos = c.u64()?;
+        let tag = c.u8()?;
+        let event = match tag {
+            EV_RUN_START => TraceEvent::RunStart {
+                nodes: c.shard()?,
+                shards: c.shard()?,
+            },
+            EV_RUN_END => TraceEvent::RunEnd { rounds: c.u64()? },
+            EV_ROUND_START => TraceEvent::RoundStart {
+                round: c.u64()?,
+                active: c.shard()?,
+            },
+            EV_ROUND_END => TraceEvent::RoundEnd {
+                round: c.u64()?,
+                active: c.shard()?,
+                nanos: c.u64()?,
+            },
+            EV_PHASE_START => TraceEvent::PhaseStart {
+                round: c.u64()?,
+                shard: c.shard()?,
+                phase: phase_from_tag(c.u8()?)?,
+            },
+            EV_PHASE_END => TraceEvent::PhaseEnd {
+                round: c.u64()?,
+                shard: c.shard()?,
+                phase: phase_from_tag(c.u8()?)?,
+                nanos: c.u64()?,
+            },
+            EV_SHARD_FLUSH => TraceEvent::ShardFlush {
+                round: c.u64()?,
+                shard: c.shard()?,
+                wire_bytes: c.u64()?,
+                nanos: c.u64()?,
+            },
+            EV_SHARD_DRAIN => TraceEvent::ShardDrain {
+                round: c.u64()?,
+                shard: c.shard()?,
+                nanos: c.u64()?,
+                stale: c.u64()?,
+            },
+            EV_SHARD_ROUND => TraceEvent::ShardRound {
+                round: c.u64()?,
+                shard: c.shard()?,
+                messages: c.u64()?,
+                bits: c.u64()?,
+                cross: c.u64()?,
+            },
+            EV_FAULT => TraceEvent::Fault {
+                round: c.u64()?,
+                from: c.shard()?,
+                to: c.shard()?,
+                kind: {
+                    let tag = c.u8()?;
+                    let arg = c.u64()?;
+                    fault_from_tag(tag, arg)?
+                },
+            },
+            EV_WORKER_START => TraceEvent::WorkerStart { shard: c.shard()? },
+            EV_WORKER_END => TraceEvent::WorkerEnd { shard: c.shard()? },
+            other => return Err(format!("unknown trace event tag {other}")),
+        };
+        events.push((at_nanos, event));
+    }
+    if c.at != payload.len() {
+        return Err("trailing bytes after the trace events".to_string());
+    }
+    Ok(events)
+}
+
 /// One row of the per-round time series accumulated by [`RoundSeries`].
 ///
 /// Traffic counters are summed over all shards that reported the round;
@@ -316,6 +677,18 @@ pub struct RoundRow {
     pub cross_messages: u64,
     /// Wire bytes flushed by the transport (0 for in-memory backends).
     pub wire_bytes: u64,
+    /// Messages dropped by the fault layer this round (including partition
+    /// drops), mirroring [`RunMetrics::faults_dropped`](crate::RunMetrics).
+    pub dropped: u64,
+    /// Messages duplicated by the fault layer this round.
+    pub duplicated: u64,
+    /// Messages delayed past a round boundary this round (including
+    /// partition deferrals).
+    pub delayed: u64,
+    /// Fault decisions masked by the retransmission overlay this round.
+    pub retransmitted: u64,
+    /// Async-delivery stale slot overwrites observed this round.
+    pub stale_overwrites: u64,
 }
 
 impl RoundRow {
@@ -335,6 +708,11 @@ impl RoundRow {
         out.push_str(&format!(",\"bits\":{}", self.bits));
         out.push_str(&format!(",\"cross_messages\":{}", self.cross_messages));
         out.push_str(&format!(",\"wire_bytes\":{}", self.wire_bytes));
+        out.push_str(&format!(",\"dropped\":{}", self.dropped));
+        out.push_str(&format!(",\"duplicated\":{}", self.duplicated));
+        out.push_str(&format!(",\"delayed\":{}", self.delayed));
+        out.push_str(&format!(",\"retransmitted\":{}", self.retransmitted));
+        out.push_str(&format!(",\"stale_overwrites\":{}", self.stale_overwrites));
         out.push('}');
         out
     }
@@ -364,6 +742,11 @@ impl RoundRow {
                 bits: u("bits"),
                 cross_messages: u("cross_messages"),
                 wire_bytes: u("wire_bytes"),
+                dropped: u("dropped"),
+                duplicated: u("duplicated"),
+                delayed: u("delayed"),
+                retransmitted: u("retransmitted"),
+                stale_overwrites: u("stale_overwrites"),
             },
         ))
     }
@@ -410,6 +793,12 @@ impl RoundSeries {
     }
 
     /// p50/p95/max of the round wall-clock times observed so far.
+    ///
+    /// Percentiles use the nearest-rank method (`⌈p·n⌉`-th smallest), so
+    /// the degenerate inputs are well defined: an empty series is all
+    /// zeros with `rounds == 0`, a single round reports that round's time
+    /// for every statistic, and a two-round series reports the *lower*
+    /// value as p50 (the median never exceeds the 95th percentile).
     pub fn summary(&self) -> SeriesSummary {
         let rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
         let mut nanos: Vec<u64> = rows.iter().map(|r| r.wall_nanos).collect();
@@ -417,7 +806,12 @@ impl RoundSeries {
             return SeriesSummary::default();
         }
         nanos.sort_unstable();
-        let pick = |p: f64| nanos[((nanos.len() - 1) as f64 * p).round() as usize];
+        // Nearest rank: the ⌈p·n⌉-th smallest sample (1-based), clamped
+        // into range — monotone in p, exact at p = 1.0.
+        let pick = |p: f64| {
+            let rank = (p * nanos.len() as f64).ceil() as usize;
+            nanos[rank.clamp(1, nanos.len()) - 1]
+        };
         SeriesSummary {
             rounds: nanos.len() as u64,
             p50_nanos: pick(0.50),
@@ -479,6 +873,22 @@ impl TraceSink for RoundSeries {
             } => {
                 self.with_row(round, |r| r.wire_bytes += wire_bytes);
             }
+            TraceEvent::ShardDrain { round, stale, .. } => {
+                self.with_row(round, |r| r.stale_overwrites += stale);
+            }
+            TraceEvent::Fault { round, kind, .. } => {
+                // Same binning as `RunMetrics::faults_*` (see
+                // `faults::run_faulty`): partition drops count as drops,
+                // partition deferrals as delays.
+                self.with_row(round, |r| match kind {
+                    FaultKind::Dropped | FaultKind::PartitionDropped => r.dropped += 1,
+                    FaultKind::Duplicated => r.duplicated += 1,
+                    FaultKind::Delayed { .. } | FaultKind::PartitionDeferred { .. } => {
+                        r.delayed += 1
+                    }
+                    FaultKind::Retransmitted => r.retransmitted += 1,
+                });
+            }
             _ => {}
         }
     }
@@ -503,6 +913,21 @@ struct Stamped {
 ///
 /// Write the collected trace with [`ChromeTraceSink::write_json`]; the
 /// `exp_trace` binary in `dcme_bench` is the command-line front end.
+///
+/// # Merged remote traces and the clock-alignment rule
+///
+/// A multi-process run has no shared clock.  The merge contract
+/// ([`ChromeTraceSink::ingest_stamped`], used by
+/// [`coordinate_traced`](crate::transport::coordinate_traced)) is:
+/// **every track keeps its own monotonic origin, and every origin is
+/// placed at merged time 0.**  The engine track's origin is this sink's
+/// construction (the coordinator creates it just before pacing rounds);
+/// each worker track's origin is that worker's [`StampedRecorder`] epoch,
+/// taken at its `WorkerStart`.  Durations and within-track orderings are
+/// therefore exact; cross-track offsets are bounded by connection-setup
+/// skew (workers start serving within milliseconds of the coordinator's
+/// round 0) and are *not* corrected — the trace shows per-track truth, not
+/// a synthesized global order.
 #[derive(Debug)]
 pub struct ChromeTraceSink {
     epoch: Instant,
@@ -545,6 +970,58 @@ impl ChromeTraceSink {
     /// Whether no events have been collected.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Merges an externally captured stamped event stream — a remote
+    /// worker's [`Trace`](crate::wire::FrameKind::Trace) blob, or a
+    /// [`StampedRecorder`] take — into this trace.
+    ///
+    /// Timestamps are nanoseconds since the *source's* own monotonic
+    /// origin and are used as-is: per the clock-alignment rule (see the
+    /// [type docs](ChromeTraceSink)), every origin lands at merged time 0.
+    /// Shard-bearing events grow the named per-shard track set, so a
+    /// merged trace names one track per worker even when this sink never
+    /// saw an engine `RunStart`.
+    pub fn ingest_stamped(&self, events: &[(u64, TraceEvent)]) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for &(at_nanos, event) in events {
+            match event {
+                TraceEvent::RunStart { shards, .. } => {
+                    inner.shards = inner.shards.max(shards);
+                }
+                TraceEvent::WorkerStart { shard }
+                | TraceEvent::WorkerEnd { shard }
+                | TraceEvent::PhaseStart { shard, .. }
+                | TraceEvent::PhaseEnd { shard, .. }
+                | TraceEvent::ShardFlush { shard, .. }
+                | TraceEvent::ShardDrain { shard, .. }
+                | TraceEvent::ShardRound { shard, .. } => {
+                    inner.shards = inner.shards.max(shard + 1);
+                }
+                _ => {}
+            }
+            inner.events.push(Stamped {
+                at_us: at_nanos as f64 / 1000.0,
+                event,
+            });
+        }
+    }
+
+    /// Re-emits every collected event, in collection order, into another
+    /// sink — e.g. to derive a [`RoundSeries`] from an already-merged
+    /// trace.  Stamps are not carried over ([`TraceSink::emit`] has no
+    /// time parameter); sinks that re-stamp will see replay time.
+    pub fn replay_into(&self, sink: &dyn TraceSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let events: Vec<TraceEvent> = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.events.iter().map(|st| st.event).collect()
+        };
+        for event in &events {
+            sink.emit(event);
+        }
     }
 
     /// Serializes the collected events as a Chrome trace-event JSON object
@@ -649,12 +1126,13 @@ impl ChromeTraceSink {
                     round,
                     shard,
                     nanos,
+                    stale,
                 } => {
                     let dur = nanos as f64 / 1000.0;
                     sep(w, &mut first)?;
                     write!(
                         w,
-                        "{{\"name\":\"drain\",\"cat\":\"transport\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":{},\"tid\":0,\"args\":{{\"round\":{round}}}}}",
+                        "{{\"name\":\"drain\",\"cat\":\"transport\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3},\"pid\":{},\"tid\":0,\"args\":{{\"round\":{round},\"stale\":{stale}}}}}",
                         at - dur,
                         shard + 1
                     )?;
@@ -840,6 +1318,7 @@ mod tests {
                 bits: 100,
                 cross_messages: 3,
                 wire_bytes: 99,
+                ..RoundRow::default()
             }
         );
         assert_eq!(rows[1].active, 3);
@@ -852,6 +1331,8 @@ mod tests {
 
     #[test]
     fn round_row_json_round_trips() {
+        // A complete literal on purpose: a new field breaks this test
+        // until the JSON round trip carries it.
         let row = RoundRow {
             round: 3,
             active: 17,
@@ -860,6 +1341,11 @@ mod tests {
             bits: 1980,
             cross_messages: 7,
             wire_bytes: 512,
+            dropped: 2,
+            duplicated: 1,
+            delayed: 4,
+            retransmitted: 3,
+            stale_overwrites: 5,
         };
         let line = row.to_json("trace \"x\"");
         let (label, parsed) = RoundRow::from_json(&line).unwrap();
@@ -893,6 +1379,230 @@ mod tests {
     }
 
     #[test]
+    fn summary_percentiles_are_pinned_on_tiny_series() {
+        let end = |round: u64, nanos: u64| TraceEvent::RoundEnd {
+            round,
+            active: 0,
+            nanos,
+        };
+        // 0 rows: all zeros, rounds == 0.
+        let series = RoundSeries::new();
+        assert_eq!(series.summary(), SeriesSummary::default());
+        // 1 row: every statistic is that round's time.
+        series.emit(&end(0, 700));
+        assert_eq!(
+            series.summary(),
+            SeriesSummary {
+                rounds: 1,
+                p50_nanos: 700,
+                p95_nanos: 700,
+                max_nanos: 700,
+            }
+        );
+        // 2 rows: p50 is the *lower* value (nearest rank), p95/max the
+        // higher — the median never exceeds the tail.
+        series.emit(&end(1, 300));
+        assert_eq!(
+            series.summary(),
+            SeriesSummary {
+                rounds: 2,
+                p50_nanos: 300,
+                p95_nanos: 700,
+                max_nanos: 700,
+            }
+        );
+    }
+
+    #[test]
+    fn round_series_bins_faults_and_stale_overwrites() {
+        let series = RoundSeries::new();
+        let fault = |round, kind| TraceEvent::Fault {
+            round,
+            from: 0,
+            to: 1,
+            kind,
+        };
+        series.emit(&fault(0, FaultKind::Dropped));
+        series.emit(&fault(0, FaultKind::PartitionDropped));
+        series.emit(&fault(0, FaultKind::Duplicated));
+        series.emit(&fault(1, FaultKind::Delayed { rounds: 2 }));
+        series.emit(&fault(1, FaultKind::PartitionDeferred { until_round: 9 }));
+        series.emit(&fault(1, FaultKind::Retransmitted));
+        series.emit(&TraceEvent::ShardDrain {
+            round: 1,
+            shard: 0,
+            nanos: 10,
+            stale: 3,
+        });
+        let rows = series.rows();
+        assert_eq!(rows[0].dropped, 2);
+        assert_eq!(rows[0].duplicated, 1);
+        assert_eq!(rows[1].delayed, 2);
+        assert_eq!(rows[1].retransmitted, 1);
+        assert_eq!(rows[1].stale_overwrites, 3);
+        // The counters survive the JSONL round trip.
+        let (_, parsed) = RoundRow::from_json(&rows[1].to_json("x")).unwrap();
+        assert_eq!(parsed, rows[1]);
+    }
+
+    #[test]
+    fn stamped_codec_round_trips_every_event_kind() {
+        let events: Vec<(u64, TraceEvent)> = vec![
+            (
+                0,
+                TraceEvent::RunStart {
+                    nodes: 10,
+                    shards: 3,
+                },
+            ),
+            (5, TraceEvent::WorkerStart { shard: 2 }),
+            (
+                10,
+                TraceEvent::RoundStart {
+                    round: 0,
+                    active: 10,
+                },
+            ),
+            (
+                15,
+                TraceEvent::PhaseStart {
+                    round: 0,
+                    shard: 1,
+                    phase: TracePhase::Send,
+                },
+            ),
+            (
+                20,
+                TraceEvent::PhaseEnd {
+                    round: 0,
+                    shard: 1,
+                    phase: TracePhase::Receive,
+                    nanos: 5,
+                },
+            ),
+            (
+                25,
+                TraceEvent::ShardFlush {
+                    round: 0,
+                    shard: 1,
+                    wire_bytes: 64,
+                    nanos: 7,
+                },
+            ),
+            (
+                30,
+                TraceEvent::ShardDrain {
+                    round: 0,
+                    shard: 1,
+                    nanos: 3,
+                    stale: 1,
+                },
+            ),
+            (
+                35,
+                TraceEvent::ShardRound {
+                    round: 0,
+                    shard: 1,
+                    messages: 9,
+                    bits: 90,
+                    cross: 4,
+                },
+            ),
+            (
+                40,
+                TraceEvent::Fault {
+                    round: 0,
+                    from: 1,
+                    to: 2,
+                    kind: FaultKind::Delayed { rounds: 3 },
+                },
+            ),
+            (
+                41,
+                TraceEvent::Fault {
+                    round: 0,
+                    from: 2,
+                    to: 1,
+                    kind: FaultKind::PartitionDeferred { until_round: 8 },
+                },
+            ),
+            (
+                45,
+                TraceEvent::RoundEnd {
+                    round: 0,
+                    active: 4,
+                    nanos: 50,
+                },
+            ),
+            (50, TraceEvent::WorkerEnd { shard: 2 }),
+            (55, TraceEvent::RunEnd { rounds: 1 }),
+        ];
+        let payload = encode_stamped(&events);
+        assert_eq!(decode_stamped(&payload).unwrap(), events);
+    }
+
+    #[test]
+    fn stamped_codec_rejects_malformed_payloads() {
+        // Truncated at every prefix length: error, never a panic.
+        let events = vec![(7u64, TraceEvent::WorkerStart { shard: 1 })];
+        let payload = encode_stamped(&events);
+        for len in 0..payload.len() {
+            assert!(decode_stamped(&payload[..len]).is_err(), "prefix {len}");
+        }
+        // Trailing garbage.
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert!(decode_stamped(&padded).is_err());
+        // Unknown event tag.
+        let mut bad = payload.clone();
+        bad[12] = 200;
+        assert!(decode_stamped(&bad).is_err());
+        // Absurd count.
+        let mut huge = payload;
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_stamped(&huge).is_err());
+    }
+
+    #[test]
+    fn ingest_stamped_names_worker_tracks_and_keeps_origins() {
+        let sink = ChromeTraceSink::new();
+        // A worker blob whose own origin is its WorkerStart: merged
+        // timestamps come out exactly as stamped.
+        sink.ingest_stamped(&[
+            (0, TraceEvent::WorkerStart { shard: 2 }),
+            (
+                4_000,
+                TraceEvent::PhaseEnd {
+                    round: 0,
+                    shard: 2,
+                    phase: TracePhase::Send,
+                    nanos: 1_000,
+                },
+            ),
+            (9_000, TraceEvent::WorkerEnd { shard: 2 }),
+        ]);
+        let mut buf = Vec::new();
+        sink.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        // Tracks 0..=2 are named even though no engine RunStart was seen.
+        assert!(text.contains("\"name\":\"shard 2\""));
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .expect("the ingested phase slice");
+        // ts = stamp − duration = 4µs − 1µs.
+        assert_eq!(slice.get("ts").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(slice.get("pid").and_then(JsonValue::as_u64), Some(3));
+
+        // Replay feeds a derived sink the same events, minus stamps.
+        let rec = RecordingSink::new();
+        sink.replay_into(&rec);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
     fn chrome_trace_is_valid_json_with_per_shard_tracks() {
         let sink = ChromeTraceSink::new();
         sink.emit(&TraceEvent::RunStart {
@@ -919,6 +1629,7 @@ mod tests {
             round: 0,
             shard: 1,
             nanos: 300,
+            stale: 0,
         });
         sink.emit(&TraceEvent::Fault {
             round: 0,

@@ -71,6 +71,10 @@ use crate::executor::{route_outbox, ShardReport};
 use crate::metrics::RunMetrics;
 use crate::sharded::{ShardPlan, ShardTopologyView, ShardedTopology};
 use crate::simulator::RunOutcome;
+use crate::trace::{
+    decode_stamped, encode_stamped, ChromeTraceSink, StampedRecorder, TraceEvent, TracePhase,
+    TraceSink,
+};
 use crate::wire::{
     for_each_data_entry, get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, read_frame,
     write_frame, DataFrameBuilder, Frame, FrameBuffer, FrameHeader, FrameKind, WireError,
@@ -1241,6 +1245,15 @@ pub struct ServeOptions {
     /// never sends one, keeping the wire protocol byte-identical to
     /// pre-telemetry workers.
     pub stats_every: u64,
+    /// Capture this worker's trace events ([`TraceEvent`], stamped against
+    /// the worker's own monotonic origin at its `WorkerStart`) and ship
+    /// them to the coordinator as one final
+    /// [`Trace`](FrameKind::Trace) frame, immediately before the
+    /// [`Output`](FrameKind::Output) frame.  Strictly out-of-band, like
+    /// `stats_every`: round decisions, outputs and merged counters are
+    /// byte-identical either way.  `false` (the default) sends nothing and
+    /// captures nothing.
+    pub trace: bool,
 }
 
 /// One worker's periodic telemetry snapshot, carried by a
@@ -1422,6 +1435,14 @@ where
     // Initial halting vote: the active count before round 0.
     write_vote(link, 0, me, active.len() as u64)?;
 
+    // Trace capture is strictly local until the final Trace frame: the
+    // recorder's epoch is this worker's monotonic origin (the documented
+    // clock-alignment anchor), taken at its WorkerStart.
+    let capture = opts.trace.then(StampedRecorder::new);
+    if let Some(cap) = &capture {
+        cap.emit(&TraceEvent::WorkerStart { shard });
+    }
+
     let epoch = Instant::now();
     let mut round: u64 = 0;
     loop {
@@ -1440,6 +1461,7 @@ where
         }
 
         // --- Send + route ------------------------------------------------
+        let (m0, b0, c0) = (report.messages, report.total_bits, report.cross);
         let t = Instant::now();
         for i in touched.drain(..) {
             slots[i] = None;
@@ -1468,9 +1490,26 @@ where
                 },
             );
         }
-        report.timings.send += t.elapsed().as_nanos() as u64;
+        let send_d = t.elapsed().as_nanos() as u64;
+        report.timings.send += send_d;
+        if let Some(cap) = &capture {
+            cap.emit(&TraceEvent::PhaseEnd {
+                round,
+                shard,
+                phase: TracePhase::Send,
+                nanos: send_d,
+            });
+            cap.emit(&TraceEvent::ShardRound {
+                round,
+                shard,
+                messages: report.messages - m0,
+                bits: report.total_bits - b0,
+                cross: report.cross - c0,
+            });
+        }
 
         // --- Flush: one data frame per destination shard -----------------
+        let w0 = report.wire_bytes;
         let t = Instant::now();
         match data {
             DataPlane::Relay => {
@@ -1490,7 +1529,16 @@ where
                 report.wire_bytes += mesh.flush(round);
             }
         }
-        report.flush_nanos += t.elapsed().as_nanos() as u64;
+        let flush_d = t.elapsed().as_nanos() as u64;
+        report.flush_nanos += flush_d;
+        if let Some(cap) = &capture {
+            cap.emit(&TraceEvent::ShardFlush {
+                round,
+                shard,
+                wire_bytes: report.wire_bytes - w0,
+                nanos: flush_d,
+            });
+        }
 
         // --- Drain every other shard's frames ----------------------------
         let t = Instant::now();
@@ -1528,7 +1576,22 @@ where
                 })?;
             }
         }
-        report.timings.deliver += t.elapsed().as_nanos() as u64;
+        let drain_d = t.elapsed().as_nanos() as u64;
+        report.timings.deliver += drain_d;
+        if let Some(cap) = &capture {
+            cap.emit(&TraceEvent::ShardDrain {
+                round,
+                shard,
+                nanos: drain_d,
+                stale: 0,
+            });
+            cap.emit(&TraceEvent::PhaseEnd {
+                round,
+                shard,
+                phase: TracePhase::Deliver,
+                nanos: drain_d,
+            });
+        }
 
         // --- Receive + compact + vote ------------------------------------
         let t = Instant::now();
@@ -1543,7 +1606,16 @@ where
             nodes[v - node_range.start].receive(&ctx, &inbox);
         }
         active.retain(|&v| !nodes[v - node_range.start].is_halted());
-        report.timings.receive += t.elapsed().as_nanos() as u64;
+        let receive_d = t.elapsed().as_nanos() as u64;
+        report.timings.receive += receive_d;
+        if let Some(cap) = &capture {
+            cap.emit(&TraceEvent::PhaseEnd {
+                round,
+                shard,
+                phase: TracePhase::Receive,
+                nanos: receive_d,
+            });
+        }
         round += 1;
         if opts.stats_every > 0 && round % opts.stats_every == 0 {
             write_stats(
@@ -1565,6 +1637,23 @@ where
     // --- Final report: counters + wire-encoded outputs -------------------
     if let DataPlane::Mesh(mesh) = data {
         report.syscall_batches += mesh.syscall_batches();
+    }
+    // The captured trace ships as one out-of-band frame ahead of the
+    // Output frame on the same ordered link, mirroring how Stats frames
+    // precede Votes — the coordinator merges (or discards) it without any
+    // effect on the run.
+    if let Some(cap) = &capture {
+        cap.emit(&TraceEvent::WorkerEnd { shard });
+        write_frame(
+            link,
+            FrameHeader {
+                kind: FrameKind::Trace,
+                round,
+                from: me,
+                to: COORDINATOR,
+            },
+            &encode_stamped(&cap.take()),
+        )?;
     }
     let mut payload = Vec::new();
     for v in [
@@ -1657,6 +1746,33 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
     links: Vec<L>,
     spec: &CoordinateSpec,
 ) -> std::io::Result<RunOutcome<O>> {
+    coordinate_traced(links, spec, None)
+}
+
+/// [`coordinate`] with remote trace capture: the full-surface entry point.
+///
+/// With `trace` set, the coordinator records its own engine-track events
+/// (`RunStart`/`RoundStart`/`RoundEnd`/`RunEnd`, pid 0 in the rendered
+/// file) into the sink and merges every worker's final
+/// [`Trace`](FrameKind::Trace) blob into it via
+/// [`ChromeTraceSink::ingest_stamped`], yielding one Perfetto-loadable
+/// trace with a named track per worker — see the clock-alignment rule in
+/// the [`ChromeTraceSink`] docs.  Workers only ship a blob when they run
+/// with [`ServeOptions::trace`]; either side may enable tracing alone
+/// (an unconsumed-side mismatch is tolerated: unexpected Trace frames are
+/// validated and discarded, and a `None` sink merely drops the blobs), and
+/// the run itself — rounds, outputs, merged counters — is bit-for-bit
+/// identical in every combination.
+///
+/// # Errors
+///
+/// Propagates link I/O failures and protocol violations (including a
+/// malformed Trace payload) as `io::Error`.
+pub fn coordinate_traced<O: WireMessage, L: Read + Write>(
+    links: Vec<L>,
+    spec: &CoordinateSpec,
+    trace: Option<&ChromeTraceSink>,
+) -> std::io::Result<RunOutcome<O>> {
     let shards = spec.shards;
     check_wire_shard_count(shards)?;
     if links.len() != shards {
@@ -1694,6 +1810,12 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
     let mut relay: Vec<Vec<Option<Frame>>> = (0..shards)
         .map(|_| (0..shards).map(|_| None).collect())
         .collect();
+    if let Some(sink) = trace {
+        sink.emit(&TraceEvent::RunStart {
+            nodes: spec.num_nodes,
+            shards,
+        });
+    }
     loop {
         let total: u64 = counts.iter().sum();
         let stop = if total == 0 {
@@ -1720,6 +1842,13 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
         }
         if stop {
             break;
+        }
+        let round_t = Instant::now();
+        if let Some(sink) = trace {
+            sink.emit(&TraceEvent::RoundStart {
+                round,
+                active: total as usize,
+            });
         }
 
         if !spec.mesh {
@@ -1788,6 +1917,13 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
             counts[s] = parse_vote(&frame)?;
         }
         metrics.phase_nanos.receive += t.elapsed().as_nanos() as u64;
+        if let Some(sink) = trace {
+            sink.emit(&TraceEvent::RoundEnd {
+                round: round - 1,
+                active: counts.iter().sum::<u64>() as usize,
+                nanos: round_t.elapsed().as_nanos() as u64,
+            });
+        }
     }
     metrics.rounds = round;
 
@@ -1795,7 +1931,21 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
     let mut outputs: Vec<Option<O>> = Vec::with_capacity(spec.num_nodes);
     outputs.resize_with(spec.num_nodes, || None);
     for (s, link) in links.iter_mut().enumerate() {
-        let frame = read_frame(link)?;
+        // A traced worker precedes its Output with one out-of-band Trace
+        // blob; the ordered link means it can only appear here.  The blob
+        // is validated either way and merged only when a sink is attached.
+        let frame = loop {
+            let frame = read_frame(link)?;
+            if frame.header.kind != FrameKind::Trace {
+                break frame;
+            }
+            frame.header.expect(round, s as u16, COORDINATOR)?;
+            let events = decode_stamped(&frame.payload)
+                .map_err(|e| protocol_error(&format!("malformed trace blob: {e}")))?;
+            if let Some(sink) = trace {
+                sink.ingest_stamped(&events);
+            }
+        };
         if frame.header.kind != FrameKind::Output {
             return Err(protocol_error("expected an output frame"));
         }
@@ -1847,6 +1997,9 @@ pub fn coordinate<O: WireMessage, L: Read + Write>(
         .enumerate()
         .map(|(v, o)| o.ok_or_else(|| protocol_error(&format!("no output for node {v}"))))
         .collect::<Result<_, _>>()?;
+    if let Some(sink) = trace {
+        sink.emit(&TraceEvent::RunEnd { rounds: round });
+    }
     Ok(RunOutcome { outputs, metrics })
 }
 
@@ -2115,7 +2268,10 @@ mod tests {
                         shard,
                         nodes,
                         &mut DataPlane::Relay,
-                        &ServeOptions { stats_every: 1 },
+                        &ServeOptions {
+                            stats_every: 1,
+                            ..ServeOptions::default()
+                        },
                     )
                     .expect("worker");
                 });
@@ -2130,6 +2286,94 @@ mod tests {
             coordinate::<u64, _>(coordinator_links, &spec).expect("coordinator")
         });
         assert_logically_equal(&seq, &out, "remote+stats");
+    }
+
+    /// Trace capture is strictly out-of-band: the run is bit-for-bit
+    /// identical whether neither, either or both sides enable tracing, and
+    /// when both do, the merged sink holds the engine track plus one named
+    /// per-worker track with that worker's shipped events.
+    #[cfg(unix)]
+    #[test]
+    fn trace_frames_are_out_of_band() {
+        let n = 19;
+        let shards = 3;
+        let dense = ring(n);
+        let seq = Simulator::new(&dense).run(mk(n));
+        let g = ShardedTopology::from_topology(&dense, shards).unwrap();
+        let run = |worker_trace: bool, coord_trace: bool| {
+            let mut coordinator_links = Vec::new();
+            let mut worker_ends = Vec::new();
+            for _ in 0..shards {
+                let (c, w) = std::os::unix::net::UnixStream::pair().unwrap();
+                coordinator_links.push(c);
+                worker_ends.push(w);
+            }
+            let sink = coord_trace.then(ChromeTraceSink::new);
+            let out = std::thread::scope(|scope| {
+                for (shard, mut link) in worker_ends.drain(..).enumerate() {
+                    let g = &g;
+                    scope.spawn(move || {
+                        let nodes: Vec<Gossip> = g
+                            .shard_nodes(shard)
+                            .map(|v| Gossip::new(1 + (v as u64 % 5)))
+                            .collect();
+                        serve_shard_with(
+                            &mut link,
+                            g,
+                            shard,
+                            nodes,
+                            &mut DataPlane::Relay,
+                            &ServeOptions {
+                                stats_every: 0,
+                                trace: worker_trace,
+                            },
+                        )
+                        .expect("worker");
+                    });
+                }
+                let spec = CoordinateSpec {
+                    num_nodes: n,
+                    shards,
+                    max_rounds: 1_000_000,
+                    mesh: false,
+                    progress: false,
+                };
+                coordinate_traced::<u64, _>(coordinator_links, &spec, sink.as_ref())
+                    .expect("coordinator")
+            });
+            (out, sink)
+        };
+
+        let (baseline, _) = run(false, false);
+        assert_logically_equal(&seq, &baseline, "untraced remote");
+        for (worker_trace, coord_trace) in [(true, false), (false, true), (true, true)] {
+            let (out, sink) = run(worker_trace, coord_trace);
+            assert_logically_equal(&baseline, &out, "traced remote");
+            assert_eq!(
+                baseline.metrics.wire_bytes_sent, out.metrics.wire_bytes_sent,
+                "trace frames must never count as data-plane wire bytes"
+            );
+            let Some(sink) = sink else { continue };
+            let mut buf = Vec::new();
+            sink.write_json(&mut buf).expect("render merged trace");
+            let text = String::from_utf8(buf).expect("utf8 trace");
+            assert!(text.contains("\"name\":\"engine\""), "engine track named");
+            assert!(text.contains("run_start"), "coordinator events present");
+            if worker_trace {
+                for shard in 0..shards {
+                    assert!(
+                        text.contains(&format!("\"name\":\"shard {shard}\"")),
+                        "worker track {shard} named in the merged file"
+                    );
+                }
+                assert!(text.contains("worker_start"), "worker events merged");
+            } else {
+                assert!(
+                    !text.contains("worker_start"),
+                    "no worker events without worker-side capture"
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,10 +42,13 @@
 //!   `Vote` (worker → coordinator halting vote: the shard's active count),
 //!   `Output` (worker → coordinator final outputs + counters),
 //!   `Topology` (coordinator → worker pass-1 shard-plan chunk),
-//!   `Peers` (mesh address exchange) for the scale-out handshake and
+//!   `Peers` (mesh address exchange) for the scale-out handshake,
 //!   `Stats` (worker → coordinator periodic telemetry snapshot, strictly
 //!   out-of-band: sent just before a `Vote`, never affecting round
-//!   decisions) — see `transport`.
+//!   decisions) and `Trace` (worker → coordinator final stamped
+//!   trace-event blob, sent just before the `Output` frame when the
+//!   coordinator requested tracing — equally out-of-band) — see
+//!   `transport`.
 //! * `round` — every frame is stamped with the round it belongs to;
 //!   receivers reject out-of-sequence frames with
 //!   [`WireError::RoundMismatch`].
@@ -458,6 +461,13 @@ pub enum FrameKind {
     /// that round's `Vote`, consumed and rendered by the coordinator without
     /// influencing any round decision.
     Stats,
+    /// Worker → coordinator: the worker's captured trace-event stream (a
+    /// stamped blob, see [`crate::trace::encode_stamped`]), shipped once,
+    /// immediately before the final `Output` frame, when the run is traced
+    /// ([`crate::transport::ServeOptions::trace`]).  Strictly out-of-band
+    /// like `Stats`: the coordinator merges (or discards) it without any
+    /// effect on round decisions, outputs or merged counters.
+    Trace,
 }
 
 impl FrameKind {
@@ -470,6 +480,7 @@ impl FrameKind {
             FrameKind::Topology => 4,
             FrameKind::Peers => 5,
             FrameKind::Stats => 6,
+            FrameKind::Trace => 7,
         }
     }
 
@@ -482,6 +493,7 @@ impl FrameKind {
             4 => Ok(FrameKind::Topology),
             5 => Ok(FrameKind::Peers),
             6 => Ok(FrameKind::Stats),
+            7 => Ok(FrameKind::Trace),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -867,8 +879,14 @@ mod tests {
     #[test]
     fn handshake_frame_kinds_round_trip() {
         // The scale-out handshake kinds (Topology, Peers) and the telemetry
-        // kind (Stats) travel through the same codec as the round-loop kinds.
-        for kind in [FrameKind::Topology, FrameKind::Peers, FrameKind::Stats] {
+        // kinds (Stats, Trace) travel through the same codec as the
+        // round-loop kinds.
+        for kind in [
+            FrameKind::Topology,
+            FrameKind::Peers,
+            FrameKind::Stats,
+            FrameKind::Trace,
+        ] {
             let header = FrameHeader {
                 kind,
                 round: 0,
@@ -887,12 +905,12 @@ mod tests {
 
     #[test]
     fn malformed_frames_are_errors_not_panics() {
-        // Unknown kind.
-        let mut body = vec![7u8];
+        // Unknown kind (8 is the first unassigned tag).
+        let mut body = vec![8u8];
         body.extend_from_slice(&0u64.to_le_bytes());
         body.extend_from_slice(&0u16.to_le_bytes());
         body.extend_from_slice(&0u16.to_le_bytes());
-        assert_eq!(parse_body(&body), Err(WireError::BadKind(7)));
+        assert_eq!(parse_body(&body), Err(WireError::BadKind(8)));
         // Truncated header.
         assert!(matches!(
             parse_body(&[0u8; 5]),
